@@ -1,0 +1,66 @@
+//! Criterion version of Figure 4's overhead measurement: the same program
+//! run uninstrumented, under the exact profiler, under the approximate
+//! profiler, and under a transient injector. The benchmark names group into
+//! one Criterion report so the ratios are easy to read off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_runtime::{run_program, RuntimeConfig};
+use nvbitfi::{BitFlipModel, InstrGroup, Profiler, ProfilingMode, TransientInjector, TransientParams};
+use workloads::Scale;
+
+fn program() -> workloads::ostencil::Ostencil {
+    workloads::ostencil::Ostencil { scale: Scale::Test }
+}
+
+fn bench_overheads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_overheads/ostencil");
+
+    g.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let out = run_program(&program(), RuntimeConfig::default(), None);
+            assert!(out.termination.is_clean());
+        })
+    });
+
+    g.bench_function("exact_profiling", |b| {
+        b.iter(|| {
+            let (tool, _handle) = Profiler::new(ProfilingMode::Exact);
+            let out = run_program(&program(), RuntimeConfig::default(), Some(Box::new(tool)));
+            assert!(out.termination.is_clean());
+        })
+    });
+
+    g.bench_function("approx_profiling", |b| {
+        b.iter(|| {
+            let (tool, _handle) = Profiler::new(ProfilingMode::Approximate);
+            let out = run_program(&program(), RuntimeConfig::default(), Some(Box::new(tool)));
+            assert!(out.termination.is_clean());
+        })
+    });
+
+    g.bench_function("transient_injection", |b| {
+        let params = TransientParams {
+            group: InstrGroup::Gp,
+            bit_flip: BitFlipModel::FlipSingleBit,
+            kernel_name: "stencil_step".into(),
+            kernel_count: 2,
+            instruction_count: 50,
+            destination_register: 0.5,
+            bit_pattern: 0.1,
+        };
+        b.iter(|| {
+            let (tool, _handle) = TransientInjector::new(params.clone());
+            let out = run_program(&program(), RuntimeConfig::default(), Some(Box::new(tool)));
+            std::hint::black_box(out);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_overheads
+}
+criterion_main!(benches);

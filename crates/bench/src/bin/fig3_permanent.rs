@@ -1,0 +1,59 @@
+//! Regenerates **Figure 3**: relative SDC/DUE/Masked outcomes for
+//! *permanent* faults, one experiment per executed opcode, each outcome
+//! weighted by the opcode's share of dynamic instructions. The paper's
+//! headline: permanent faults mask far less than transient ones
+//! (17.4% vs 57.6% average Masked).
+
+use nvbitfi::{report, run_permanent_campaign};
+
+fn main() {
+    let args = bench::BenchArgs::from_env();
+    println!("FIGURE 3 — permanent-fault outcomes, weighted by opcode dynamic count (seed {:#x})\n", args.seed);
+
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "opcodes run".to_string(),
+        "SDC".to_string(),
+        "DUE".to_string(),
+        "Masked".to_string(),
+        "activations".to_string(),
+    ]];
+    let (mut wsdc, mut wdue, mut wmask) = (0.0, 0.0, 0.0);
+    let mut n = 0usize;
+    for entry in args.programs() {
+        let c = run_permanent_campaign(
+            entry.program.as_ref(),
+            entry.check.as_ref(),
+            &args.permanent(),
+        )
+        .expect("permanent campaign");
+        let activations: u64 = c.runs.iter().map(|r| r.activations).sum();
+        rows.push(vec![
+            entry.name.to_string(),
+            format!("{}/171", c.runs.len()),
+            report::pct(c.weighted.sdc),
+            report::pct(c.weighted.due),
+            report::pct(c.weighted.masked),
+            activations.to_string(),
+        ]);
+        wsdc += c.weighted.sdc;
+        wdue += c.weighted.due;
+        wmask += c.weighted.masked;
+        n += 1;
+        eprintln!("  done {}", entry.name);
+    }
+    rows.push(vec![
+        "AVERAGE".to_string(),
+        String::new(),
+        report::pct(wsdc / n as f64),
+        report::pct(wdue / n as f64),
+        report::pct(wmask / n as f64),
+        String::new(),
+    ]);
+    print!("{}", report::table(&rows));
+    println!("\npaper (Fig. 3): permanent faults average 17.4% Masked — far less masking");
+    println!("than the 57.6% of transient faults, because a permanent fault activates");
+    println!("on every dynamic instance of its opcode.");
+    println!("'opcodes run' reflects profile pruning: only executed opcodes are injected");
+    println!("(the paper's programs execute 16-41 of the 171 opcodes).");
+}

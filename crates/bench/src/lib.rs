@@ -1,0 +1,147 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure from the paper's §IV (see
+//! `DESIGN.md` §4 for the index). Common knobs come from environment
+//! variables so the binaries stay flag-free:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `NVBITFI_INJECTIONS` | 100 | transient injections per program |
+//! | `NVBITFI_SEED` | 0x5EED | campaign RNG seed |
+//! | `NVBITFI_WORKERS` | all cores | injection-run fan-out |
+//! | `NVBITFI_SCALE` | paper | `paper` or `test` problem sizes |
+//! | `NVBITFI_PROGRAMS` | all | comma-separated program filter |
+//!
+//! Run binaries with `--release`; the interpreter is ~20× slower in debug
+//! builds.
+
+use nvbitfi::{CampaignConfig, PermanentCampaignConfig};
+use workloads::{BenchEntry, Scale};
+
+/// Knobs shared by all experiment binaries (see module docs).
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Transient injections per program.
+    pub injections: usize,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Program-name filter (empty = all).
+    pub filter: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Read the environment.
+    pub fn from_env() -> BenchArgs {
+        let get = |k: &str| std::env::var(k).ok();
+        BenchArgs {
+            injections: get("NVBITFI_INJECTIONS").and_then(|v| v.parse().ok()).unwrap_or(100),
+            seed: get("NVBITFI_SEED").and_then(|v| v.parse().ok()).unwrap_or(0x5EED),
+            workers: get("NVBITFI_WORKERS")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
+            scale: match get("NVBITFI_SCALE").as_deref() {
+                Some("test") => Scale::Test,
+                _ => Scale::Paper,
+            },
+            filter: get("NVBITFI_PROGRAMS")
+                .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// The suite, filtered by `NVBITFI_PROGRAMS`.
+    pub fn programs(&self) -> Vec<BenchEntry> {
+        workloads::suite(self.scale)
+            .into_iter()
+            .filter(|e| {
+                self.filter.is_empty()
+                    || self.filter.iter().any(|f| e.name == *f || e.name.ends_with(f.as_str()))
+            })
+            .collect()
+    }
+
+    /// A transient campaign config from these knobs.
+    pub fn campaign(&self, profiling: nvbitfi::ProfilingMode) -> CampaignConfig {
+        CampaignConfig {
+            injections: self.injections,
+            seed: self.seed,
+            workers: self.workers,
+            profiling,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// A permanent campaign config from these knobs.
+    pub fn permanent(&self) -> PermanentCampaignConfig {
+        PermanentCampaignConfig {
+            seed: self.seed,
+            workers: self.workers,
+            ..PermanentCampaignConfig::default()
+        }
+    }
+}
+
+/// Format a `Duration` in engineering style (`12.3ms`).
+pub fn dur(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Ratio formatted as `12.3x`.
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "—".to_string()
+    } else {
+        format!("{:.1}x", num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Not setting variables yields sane defaults.
+        let a = BenchArgs {
+            injections: 100,
+            seed: 0x5EED,
+            workers: 4,
+            scale: Scale::Paper,
+            filter: vec![],
+        };
+        assert_eq!(a.programs().len(), 15);
+    }
+
+    #[test]
+    fn filter_restricts_programs() {
+        let a = BenchArgs {
+            injections: 1,
+            seed: 1,
+            workers: 1,
+            scale: Scale::Test,
+            filter: vec!["cg".into(), "350.md".into()],
+        };
+        let names: Vec<_> = a.programs().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["350.md", "354.cg"]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(dur(std::time::Duration::from_millis(1500)), "1.50s");
+        assert_eq!(dur(std::time::Duration::from_micros(2300)), "2.3ms");
+        assert_eq!(dur(std::time::Duration::from_nanos(900)), "1µs");
+        assert_eq!(ratio(10.0, 2.0), "5.0x");
+        assert_eq!(ratio(1.0, 0.0), "—");
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal flag parsing (`--key value` pairs plus positionals).
+
+use std::collections::HashMap;
+
+/// Parsed command-line: positionals plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse everything after the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a `--flag` has no value.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} requires a value"))?;
+                args.options.insert(key.to_string(), value.clone());
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A parsed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: `{v}`")),
+        }
+    }
+
+    /// A u32 option accepting `0x` hex, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when the value does not parse.
+    pub fn get_u32_or(&self, key: &str, default: u32) -> Result<u32, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                };
+                parsed.map_err(|_| format!("bad value for --{key}: `{v}`"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = Args::parse(&sv(&["354.cg", "--seed", "7", "--mode", "approx"])).expect("parse");
+        assert_eq!(a.positional(0), Some("354.cg"));
+        assert_eq!(a.get("mode"), Some("approx"));
+        assert_eq!(a.get_or("seed", 0u64).expect("seed"), 7);
+        assert_eq!(a.get_or("injections", 100usize).expect("default"), 100);
+    }
+
+    #[test]
+    fn hex_values() {
+        let a = Args::parse(&sv(&["--mask", "0x8000"])).expect("parse");
+        assert_eq!(a.get_u32_or("mask", 0).expect("mask"), 0x8000);
+        let a = Args::parse(&sv(&["--mask", "255"])).expect("parse");
+        assert_eq!(a.get_u32_or("mask", 0).expect("mask"), 255);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&sv(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn bad_parse_names_flag() {
+        let a = Args::parse(&sv(&["--seed", "banana"])).expect("parse");
+        let err = a.get_or("seed", 0u64).unwrap_err();
+        assert!(err.contains("--seed"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use gpu_isa::disasm;
+use gpu_runtime::{run_program, RuntimeConfig};
+use nvbit::{CallSite, NvBit, NvBitTool};
+use nvbitfi::{
+    classify, golden_run, report, run_permanent_campaign, run_transient_campaign,
+    select_transient, stats, BitFlipModel, CampaignConfig, InstrGroup, PermanentCampaignConfig,
+    PermanentInjector, PermanentParams, Profile, ProfilingMode, TransientInjector,
+    TransientParams,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use workloads::{BenchEntry, Scale};
+
+const USAGE: &str = "\
+usage: nvbitfi <command> [args]
+
+commands:
+  list                          list the benchmark programs
+  profile <prog> [--mode exact|approx] [--out FILE] [--scale paper|test]
+  select <prog> --profile FILE [--group ID] [--bitflip ID] [--seed S] [--count N] [--out FILE]
+  inject <prog> --params FILE [--scale paper|test]
+  run-list <prog> --list FILE [--log FILE]
+  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE]
+  pf <prog> --opcode MNEMONIC [--sm N] [--lane N] [--mask HEX]
+  pf-campaign <prog> [--seed S]
+  disasm <prog>
+  assemble --in LISTING --out MODULE.bin
+  disasm-bin --in MODULE.bin
+  trace <prog> [--top N] [--mem N]
+";
+
+/// Dispatch a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, bad flags, or
+/// failed campaigns.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "list" => list(),
+        "profile" => profile(&args),
+        "select" => select(&args),
+        "inject" => inject(&args),
+        "run-list" => run_list(&args),
+        "campaign" => campaign(&args),
+        "pf" => pf(&args),
+        "pf-campaign" => pf_campaign(&args),
+        "disasm" => disassemble(&args),
+        "assemble" => assemble(&args),
+        "trace" => trace(&args),
+        "disasm-bin" => disasm_bin(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn scale(args: &Args) -> Result<Scale, String> {
+    match args.get("scale") {
+        None | Some("paper") => Ok(Scale::Paper),
+        Some("test") => Ok(Scale::Test),
+        Some(other) => Err(format!("bad --scale `{other}` (paper|test)")),
+    }
+}
+
+fn entry(args: &Args, scale: Scale) -> Result<BenchEntry, String> {
+    let name = args.positional(0).ok_or("missing program name; try `nvbitfi list`")?;
+    workloads::find(scale, name).ok_or_else(|| format!("unknown program `{name}`"))
+}
+
+fn mode(args: &Args) -> Result<ProfilingMode, String> {
+    match args.get("mode") {
+        None | Some("exact") => Ok(ProfilingMode::Exact),
+        Some("approx") | Some("approximate") => Ok(ProfilingMode::Approximate),
+        Some(other) => Err(format!("bad --mode `{other}` (exact|approx)")),
+    }
+}
+
+fn group(args: &Args) -> Result<InstrGroup, String> {
+    let id: u8 = args.get_or("group", InstrGroup::GpPr.id())?;
+    InstrGroup::from_id(id).ok_or_else(|| format!("bad --group {id} (1..8, see Table II)"))
+}
+
+fn bitflip(args: &Args) -> Result<BitFlipModel, String> {
+    let id: u8 = args.get_or("bitflip", BitFlipModel::FlipSingleBit.id())?;
+    BitFlipModel::from_id(id).ok_or_else(|| format!("bad --bitflip {id} (1..4, see Table II)"))
+}
+
+fn list() -> Result<(), String> {
+    let mut rows = vec![vec![
+        "program".to_string(),
+        "description".to_string(),
+        "static kernels".to_string(),
+        "dynamic kernels (paper)".to_string(),
+    ]];
+    for e in workloads::suite(Scale::Paper) {
+        rows.push(vec![
+            e.name.to_string(),
+            e.description.to_string(),
+            e.paper_static.to_string(),
+            e.paper_dynamic.to_string(),
+        ]);
+    }
+    print!("{}", report::table(&rows));
+    Ok(())
+}
+
+fn profile(args: &Args) -> Result<(), String> {
+    let e = entry(args, scale(args)?)?;
+    let mode = mode(args)?;
+    let p = nvbitfi::profile_program(e.program.as_ref(), RuntimeConfig::default(), mode)
+        .map_err(|err| err.to_string())?;
+    let text = p.to_file();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|err| err.to_string())?;
+            println!(
+                "wrote {} dynamic kernels ({} dynamic instructions, {mode} profiling) to {path}",
+                p.kernels.len(),
+                p.total()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn select(args: &Args) -> Result<(), String> {
+    let profile_path = args.get("profile").ok_or("missing --profile FILE")?;
+    let text = std::fs::read_to_string(profile_path).map_err(|e| e.to_string())?;
+    let profile = Profile::from_file(&text).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(args.get_or("seed", 0x5EED_u64)?);
+    let count: usize = args.get_or("count", 1)?;
+    if count == 1 {
+        let params = select_transient(&profile, group(args)?, bitflip(args)?, &mut rng)
+            .map_err(|e| e.to_string())?;
+        match args.get("out") {
+            Some(path) => {
+                std::fs::write(path, params.to_file()).map_err(|e| e.to_string())?;
+                println!("wrote fault parameters to {path}: {params}");
+            }
+            None => print!("{}", params.to_file()),
+        }
+    } else {
+        // Multiple faults: write an injection list (the split-campaign
+        // workflow — ship the list, run it elsewhere with `run-list`).
+        let sites =
+            nvbitfi::select_campaign(&profile, group(args)?, bitflip(args)?, count, &mut rng)
+                .map_err(|e| e.to_string())?;
+        let text = nvbitfi::logfile::write_injection_list(&sites);
+        match args.get("out") {
+            Some(path) => {
+                std::fs::write(path, text).map_err(|e| e.to_string())?;
+                println!("wrote {count} faults to {path}");
+            }
+            None => print!("{text}"),
+        }
+    }
+    Ok(())
+}
+
+fn run_list(args: &Args) -> Result<(), String> {
+    let e = entry(args, scale(args)?)?;
+    let list_path = args.get("list").ok_or("missing --list FILE")?;
+    let text = std::fs::read_to_string(list_path).map_err(|err| err.to_string())?;
+    let sites = nvbitfi::logfile::read_injection_list(&text).map_err(|err| err.to_string())?;
+    println!("running {} faults from {list_path} into {} …", sites.len(), e.name);
+
+    let cfg = RuntimeConfig::default();
+    let golden = golden_run(e.program.as_ref(), cfg.clone()).map_err(|err| err.to_string())?;
+    let mut run_cfg = cfg;
+    run_cfg.instr_budget = Some(golden.suggested_budget());
+
+    let mut counts = nvbitfi::OutcomeCounts::default();
+    let mut runs = Vec::new();
+    for params in sites {
+        let t = std::time::Instant::now();
+        let (tool, handle) = TransientInjector::new(params.clone());
+        let out = run_program(e.program.as_ref(), run_cfg.clone(), Some(Box::new(tool)));
+        let outcome = classify(&golden, &out, e.check.as_ref());
+        counts.add(&outcome);
+        runs.push(nvbitfi::InjectionRun {
+            params,
+            outcome,
+            injected: handle.get().injected,
+            wall: t.elapsed(),
+        });
+    }
+    println!("{counts}");
+    if let Some(log_path) = args.get("log") {
+        let campaign = nvbitfi::TransientCampaign {
+            program: e.name.to_string(),
+            profile: Profile { mode: nvbitfi::ProfilingMode::Exact, kernels: vec![] },
+            golden,
+            counts,
+            runs,
+            timing: Default::default(),
+        };
+        std::fs::write(log_path, nvbitfi::logfile::write_results_log(&campaign))
+            .map_err(|err| err.to_string())?;
+        println!("results log written to {log_path}");
+    }
+    Ok(())
+}
+
+fn inject(args: &Args) -> Result<(), String> {
+    let e = entry(args, scale(args)?)?;
+    let params_path = args.get("params").ok_or("missing --params FILE")?;
+    let text = std::fs::read_to_string(params_path).map_err(|err| err.to_string())?;
+    let params = TransientParams::from_file(&text).map_err(|err| err.to_string())?;
+    println!("injecting: {params}");
+
+    let cfg = RuntimeConfig::default();
+    let golden = golden_run(e.program.as_ref(), cfg.clone()).map_err(|err| err.to_string())?;
+    let mut run_cfg = cfg;
+    run_cfg.instr_budget = Some(golden.suggested_budget());
+    let (tool, handle) = TransientInjector::new(params);
+    let out = run_program(e.program.as_ref(), run_cfg, Some(Box::new(tool)));
+    let outcome = classify(&golden, &out, e.check.as_ref());
+    let rec = handle.get();
+    println!("injected: {}", rec.injected);
+    if let Some(d) = rec.detail {
+        println!(
+            "  corrupted {} at pc {} in `{}` instance {} (thread {}): {:?}",
+            d.opcode, d.pc, d.kernel, d.instance, d.global_tid, d.target
+        );
+    }
+    println!("outcome: {outcome}");
+    Ok(())
+}
+
+fn campaign(args: &Args) -> Result<(), String> {
+    let e = entry(args, scale(args)?)?;
+    let cfg = CampaignConfig {
+        injections: args.get_or("injections", 100)?,
+        seed: args.get_or("seed", 0x5EED_u64)?,
+        group: group(args)?,
+        bit_flip: bitflip(args)?,
+        profiling: mode(args)?,
+        ..CampaignConfig::default()
+    };
+    println!("running {} transient injections into {} …", cfg.injections, e.name);
+    let result = run_transient_campaign(e.program.as_ref(), e.check.as_ref(), &cfg)
+        .map_err(|err| err.to_string())?;
+    println!("{}", report::transient_summary(&result));
+    println!(
+        "90% confidence margin: ±{:.1}%",
+        stats::error_margin(cfg.injections, 0.90) * 100.0
+    );
+    if let Some(log_path) = args.get("log") {
+        std::fs::write(log_path, nvbitfi::logfile::write_results_log(&result))
+            .map_err(|err| err.to_string())?;
+        println!("results log written to {log_path}");
+    }
+    Ok(())
+}
+
+fn pf(args: &Args) -> Result<(), String> {
+    let e = entry(args, scale(args)?)?;
+    let mnemonic = args.get("opcode").ok_or("missing --opcode MNEMONIC")?;
+    let opcode = gpu_isa::Opcode::from_mnemonic(mnemonic)
+        .ok_or_else(|| format!("unknown opcode `{mnemonic}`"))?;
+    let params = PermanentParams {
+        sm_id: args.get_or("sm", 0u32)?,
+        lane_id: args.get_or("lane", 0u32)?,
+        bit_mask: args.get_u32_or("mask", 1)?,
+        opcode_id: opcode.encode(),
+    };
+    params.validate(RuntimeConfig::default().gpu.num_sms).map_err(|err| err.to_string())?;
+    println!("injecting: {params}");
+
+    let cfg = RuntimeConfig::default();
+    let golden = golden_run(e.program.as_ref(), cfg.clone()).map_err(|err| err.to_string())?;
+    let mut run_cfg = cfg;
+    run_cfg.instr_budget = Some(golden.suggested_budget());
+    let (tool, handle) = PermanentInjector::new(params);
+    let out = run_program(e.program.as_ref(), run_cfg, Some(Box::new(tool)));
+    let outcome = classify(&golden, &out, e.check.as_ref());
+    let rec = handle.get();
+    println!("activations: {} of {} executions", rec.activations, rec.executions);
+    println!("outcome: {outcome}");
+    Ok(())
+}
+
+fn pf_campaign(args: &Args) -> Result<(), String> {
+    let e = entry(args, scale(args)?)?;
+    let cfg = PermanentCampaignConfig {
+        seed: args.get_or("seed", 0x5EED_u64)?,
+        ..PermanentCampaignConfig::default()
+    };
+    println!("running per-opcode permanent campaign on {} …", e.name);
+    let result = run_permanent_campaign(e.program.as_ref(), e.check.as_ref(), &cfg)
+        .map_err(|err| err.to_string())?;
+    println!("{}", report::permanent_summary(&result));
+    Ok(())
+}
+
+fn trace(args: &Args) -> Result<(), String> {
+    // The classic NVBit example tools, driven together: instr_count,
+    // opcode_hist, and a mem_trace sample.
+    let e = entry(args, scale(args)?)?;
+    let top: usize = args.get_or("top", 10)?;
+    let mem_n: usize = args.get_or("mem", 8)?;
+
+    let (tool, counts) = nvbit::tools::InstrCounter::new();
+    let out = run_program(e.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
+    if !out.termination.is_clean() {
+        return Err(format!("program did not run cleanly: {:?}", out.termination));
+    }
+    let counts = counts.get();
+    println!("instr_count: {} dynamic instructions", counts.total);
+    for (kernel, n) in counts.per_kernel.iter().take(top) {
+        println!("  {kernel:<24} {n}");
+    }
+    if counts.per_kernel.len() > top {
+        println!("  … {} more kernels", counts.per_kernel.len() - top);
+    }
+
+    let (tool, hist) = nvbit::tools::OpcodeHistogram::new();
+    run_program(e.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
+    println!("
+opcode_hist (top {top}):");
+    for (op, n) in hist.get().hottest().into_iter().take(top) {
+        println!("  {:<10} {n}", op.mnemonic());
+    }
+
+    let (tool, trace) = nvbit::tools::MemTracer::new(mem_n);
+    run_program(e.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
+    println!("
+mem_trace (first {mem_n} accesses):");
+    for a in trace.get() {
+        println!(
+            "  {} pc {:>3} tid {:>4} {} {:#010x}",
+            a.opcode.mnemonic(),
+            a.pc,
+            a.global_tid,
+            if a.is_read { "R" } else { "W" },
+            a.addr
+        );
+    }
+    Ok(())
+}
+
+fn assemble(args: &Args) -> Result<(), String> {
+    let in_path = args.get("in").ok_or("missing --in LISTING")?;
+    let out_path = args.get("out").ok_or("missing --out MODULE.bin")?;
+    let text = std::fs::read_to_string(in_path).map_err(|e| e.to_string())?;
+    let module = gpu_isa::asm_text::parse_module(&text).map_err(|e| e.to_string())?;
+    let bytes = gpu_isa::encode::encode_module(&module);
+    std::fs::write(out_path, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "assembled module `{}` ({} kernels, {} bytes) to {out_path}",
+        module.name(),
+        module.kernels().len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn disasm_bin(args: &Args) -> Result<(), String> {
+    let in_path = args.get("in").ok_or("missing --in MODULE.bin")?;
+    let bytes = std::fs::read(in_path).map_err(|e| e.to_string())?;
+    let text = disasm::module_bytes(&bytes).map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+/// A tool that captures module disassembly, for `nvbitfi disasm`.
+struct DisasmTool {
+    listings: Arc<Mutex<Vec<String>>>,
+}
+
+impl NvBitTool for DisasmTool {
+    fn on_module_load(&mut self, module: &gpu_isa::Module) {
+        self.listings.lock().push(disasm::module(module));
+    }
+    fn device_call(&mut self, _s: &CallSite<'_>, _t: &mut gpu_sim::ThreadCtx<'_>) {}
+}
+
+fn disassemble(args: &Args) -> Result<(), String> {
+    let e = entry(args, scale(args)?)?;
+    let listings = Arc::new(Mutex::new(Vec::new()));
+    let tool = NvBit::new(DisasmTool { listings: Arc::clone(&listings) });
+    let out = run_program(e.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
+    if !out.termination.is_clean() {
+        return Err(format!("program did not run cleanly: {:?}", out.termination));
+    }
+    for text in listings.lock().iter() {
+        print!("{text}");
+    }
+    Ok(())
+}

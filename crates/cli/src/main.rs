@@ -1,0 +1,32 @@
+//! `nvbitfi` — command-line driver, the analog of the upstream NVBitFI
+//! convenience scripts (`test.sh`, `run_profiler.py`, `run_injections.py`).
+//!
+//! ```text
+//! nvbitfi list
+//! nvbitfi profile  <program> [--mode exact|approx] [--out FILE]
+//! nvbitfi select   <program> --profile FILE [--group ID] [--bitflip ID] [--seed S] [--out FILE]
+//! nvbitfi inject   <program> --params FILE
+//! nvbitfi campaign <program> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx]
+//! nvbitfi pf       <program> --sm N --lane N --mask HEX --opcode MNEMONIC
+//! nvbitfi pf-campaign <program> [--seed S]
+//! nvbitfi disasm   <program>
+//! ```
+//!
+//! Programs are the 15 suite entries (`nvbitfi list`); `--scale test`
+//! switches to tiny inputs.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

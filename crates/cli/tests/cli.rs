@@ -1,0 +1,235 @@
+//! End-to-end tests of the `nvbitfi` binary: the upstream-script workflow
+//! of profile-file → select → params-file → inject, driven through the CLI.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn nvbitfi(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nvbitfi"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).to_string()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nvbitfi-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let o = nvbitfi(&[]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("usage: nvbitfi"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let o = nvbitfi(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown command"));
+}
+
+#[test]
+fn list_shows_all_programs() {
+    let o = nvbitfi(&["list"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    for name in ["303.ostencil", "354.cg", "370.bt"] {
+        assert!(out.contains(name), "{out}");
+    }
+}
+
+#[test]
+fn unknown_program_fails_cleanly() {
+    let o = nvbitfi(&["profile", "999.nope", "--scale", "test"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown program"));
+}
+
+#[test]
+fn profile_select_inject_pipeline() {
+    // Figure 1 as three CLI invocations with real files in between.
+    let profile_path = tmp("profile.txt");
+    let params_path = tmp("params.txt");
+
+    let o = nvbitfi(&[
+        "profile",
+        "314.omriq",
+        "--scale",
+        "test",
+        "--mode",
+        "exact",
+        "--out",
+        profile_path.to_str().expect("utf8"),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = std::fs::read_to_string(&profile_path).expect("profile written");
+    assert!(text.starts_with("# nvbitfi profile mode=exact"));
+    assert!(text.contains("mriq_phimag:0:"));
+
+    let o = nvbitfi(&[
+        "select",
+        "314.omriq",
+        "--profile",
+        profile_path.to_str().expect("utf8"),
+        "--group",
+        "8",
+        "--bitflip",
+        "1",
+        "--seed",
+        "99",
+        "--out",
+        params_path.to_str().expect("utf8"),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let params = std::fs::read_to_string(&params_path).expect("params written");
+    assert_eq!(params.lines().count(), 7, "Table II parameter file: {params}");
+    assert_eq!(params.lines().next(), Some("8"), "G_GP id");
+
+    let o = nvbitfi(&[
+        "inject",
+        "314.omriq",
+        "--scale",
+        "test",
+        "--params",
+        params_path.to_str().expect("utf8"),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains("injected: true"), "{out}");
+    assert!(out.contains("outcome:"), "{out}");
+
+    let _ = std::fs::remove_file(profile_path);
+    let _ = std::fs::remove_file(params_path);
+}
+
+#[test]
+fn campaign_runs_and_reports_ci() {
+    let o = nvbitfi(&[
+        "campaign",
+        "314.omriq",
+        "--scale",
+        "test",
+        "--injections",
+        "10",
+        "--seed",
+        "3",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains("10 injections"), "{out}");
+    assert!(out.contains("confidence margin"), "{out}");
+}
+
+#[test]
+fn permanent_injection_reports_activations() {
+    let o = nvbitfi(&[
+        "pf",
+        "314.omriq",
+        "--scale",
+        "test",
+        "--opcode",
+        "MUFU",
+        "--lane",
+        "2",
+        "--mask",
+        "0x1",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains("activations:"), "{out}");
+    assert!(out.contains("outcome:"), "{out}");
+}
+
+#[test]
+fn disasm_prints_sass() {
+    let o = nvbitfi(&["disasm", "314.omriq", "--scale", "test"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains(".module"), "{out}");
+    assert!(out.contains("MUFU"), "{out}");
+    assert!(out.contains("EXIT"), "{out}");
+}
+
+#[test]
+fn split_campaign_via_list_and_log() {
+    // select --count N → run-list --log → results log parses and tallies.
+    let profile_path = tmp("split-profile.txt");
+    let list_path = tmp("split-list.txt");
+    let log_path = tmp("split-log.txt");
+
+    let o = nvbitfi(&[
+        "profile", "314.omriq", "--scale", "test", "--out",
+        profile_path.to_str().expect("utf8"),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+
+    let o = nvbitfi(&[
+        "select", "314.omriq", "--profile", profile_path.to_str().expect("utf8"),
+        "--count", "8", "--seed", "17", "--out", list_path.to_str().expect("utf8"),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let list = std::fs::read_to_string(&list_path).expect("list");
+    assert_eq!(list.lines().filter(|l| !l.starts_with('#')).count(), 8);
+
+    let o = nvbitfi(&[
+        "run-list", "314.omriq", "--scale", "test",
+        "--list", list_path.to_str().expect("utf8"),
+        "--log", log_path.to_str().expect("utf8"),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let log = std::fs::read_to_string(&log_path).expect("log");
+    let rows = log.lines().filter(|l| !l.starts_with('#')).count();
+    assert_eq!(rows, 8, "one result row per fault:\n{log}");
+    assert!(stdout(&o).contains("8 runs"), "{}", stdout(&o));
+
+    for p in [profile_path, list_path, log_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn disasm_edit_assemble_roundtrip() {
+    // Dump a program's SASS, reassemble it to a binary, and disassemble the
+    // binary again: the listings must agree (the nvdisasm↔assembler loop).
+    let listing_path = tmp("listing.sass");
+    let module_path = tmp("module.bin");
+
+    let o = nvbitfi(&["disasm", "314.omriq", "--scale", "test"]);
+    assert!(o.status.success());
+    std::fs::write(&listing_path, stdout(&o)).expect("write listing");
+
+    let o = nvbitfi(&[
+        "assemble", "--in", listing_path.to_str().expect("utf8"),
+        "--out", module_path.to_str().expect("utf8"),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    assert!(stdout(&o).contains("2 kernels"), "{}", stdout(&o));
+
+    let o = nvbitfi(&["disasm-bin", "--in", module_path.to_str().expect("utf8")]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let second = stdout(&o);
+    let first = std::fs::read_to_string(&listing_path).expect("listing");
+    assert_eq!(first.trim(), second.trim(), "listings agree after reassembly");
+
+    for p in [listing_path, module_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn trace_runs_the_nvbit_example_tools() {
+    let o = nvbitfi(&["trace", "314.omriq", "--scale", "test", "--top", "3", "--mem", "5"]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains("instr_count:"), "{out}");
+    assert!(out.contains("opcode_hist"), "{out}");
+    assert!(out.contains("mem_trace"), "{out}");
+    assert!(out.contains("MUFU"), "{out}");
+}

@@ -1,0 +1,406 @@
+//! Campaign orchestration — Figure 1 end to end, many times over.
+//!
+//! A transient campaign runs: golden run → profile → select N faults →
+//! N injection runs → classify each against golden. A permanent campaign
+//! runs one experiment per *executed* opcode (the profile prunes unused
+//! opcodes, as §IV-C describes) and weights outcomes by each opcode's
+//! dynamic instruction share (Figure 3).
+//!
+//! Injection runs are independent processes in the paper; here they are
+//! independent simulator instances, fanned out across worker threads.
+
+use crate::bitflip::BitFlipModel;
+use crate::error::FiError;
+use crate::golden::{golden_run, GoldenOutput};
+use crate::igid::InstrGroup;
+use crate::outcome::{classify, Outcome, OutcomeCounts, SdcCheck};
+use crate::params::{PermanentParams, TransientParams};
+use crate::permanent::PermanentInjector;
+use crate::profile::{profile_program, Profile, ProfilingMode};
+use crate::select::select_campaign;
+use crate::transient::TransientInjector;
+use gpu_runtime::{run_program, Program, RuntimeConfig};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Configuration of a transient-fault campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base runtime configuration for every run.
+    pub runtime: RuntimeConfig,
+    /// Number of injections (the paper uses 100 per program; 1000 tightens
+    /// the confidence interval, see [`crate::stats`]).
+    pub injections: usize,
+    /// Instruction group to inject.
+    pub group: InstrGroup,
+    /// Bit-flip model.
+    pub bit_flip: BitFlipModel,
+    /// Exact or approximate profiling.
+    pub profiling: ProfilingMode,
+    /// RNG seed for fault selection (campaigns are reproducible).
+    pub seed: u64,
+    /// Worker threads for injection runs.
+    pub workers: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runtime: RuntimeConfig::default(),
+            injections: 100,
+            group: InstrGroup::GpPr,
+            bit_flip: BitFlipModel::FlipSingleBit,
+            profiling: ProfilingMode::Exact,
+            seed: 0x5EED,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+}
+
+/// One classified injection run.
+#[derive(Debug, Clone)]
+pub struct InjectionRun {
+    /// The fault parameters.
+    pub params: TransientParams,
+    /// The classified outcome.
+    pub outcome: Outcome,
+    /// `true` if the fault actually fired (with approximate profiling, a
+    /// selected site may lie beyond the instance's real execution).
+    pub injected: bool,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+/// Wall-clock accounting for overhead analysis (Figures 4 and 5).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignTiming {
+    /// Duration of the uninstrumented golden run.
+    pub golden: Duration,
+    /// Duration of the profiling run.
+    pub profiling: Duration,
+    /// Durations of the individual injection runs.
+    pub injections: Vec<Duration>,
+}
+
+impl CampaignTiming {
+    /// Median injection-run duration (the statistic Figure 4 reports).
+    pub fn median_injection(&self) -> Duration {
+        if self.injections.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut v = self.injections.clone();
+        v.sort();
+        v[v.len() / 2]
+    }
+
+    /// Total campaign time: profiling plus all injections (Figure 5).
+    pub fn total(&self) -> Duration {
+        self.profiling + self.injections.iter().sum::<Duration>()
+    }
+}
+
+/// Result of a transient campaign.
+#[derive(Debug)]
+pub struct TransientCampaign {
+    /// Program name.
+    pub program: String,
+    /// The profile used for site selection.
+    pub profile: Profile,
+    /// Golden reference.
+    pub golden: GoldenOutput,
+    /// Aggregate outcome tally.
+    pub counts: OutcomeCounts,
+    /// Per-injection details, in selection order.
+    pub runs: Vec<InjectionRun>,
+    /// Timing for overhead analysis.
+    pub timing: CampaignTiming,
+}
+
+fn fan_out<T: Send, R: Send>(
+    workers: usize,
+    items: Vec<T>,
+    f: impl Fn(usize, T) -> R + Sync,
+) -> Vec<R> {
+    let todo: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let input = Mutex::new(todo.into_iter());
+    let output: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    let workers = workers.max(1);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let next = input.lock().next();
+                let Some((idx, item)) = next else { break };
+                let r = f(idx, item);
+                output.lock().push((idx, r));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut out = output.into_inner();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run a complete transient-fault campaign on one program.
+///
+/// # Errors
+///
+/// Returns [`FiError`] if the golden or profiling run fails, or if the
+/// selected instruction group has no dynamic instructions in the profile.
+pub fn run_transient_campaign(
+    program: &dyn Program,
+    check: &dyn SdcCheck,
+    cfg: &CampaignConfig,
+) -> Result<TransientCampaign, FiError> {
+    // Step 0: golden run (also calibrates the hang monitor).
+    let t0 = Instant::now();
+    let golden = golden_run(program, cfg.runtime.clone())?;
+    let golden_wall = t0.elapsed();
+    let mut run_cfg = cfg.runtime.clone();
+    run_cfg.instr_budget = Some(golden.suggested_budget());
+
+    // Step 1: profile.
+    let t0 = Instant::now();
+    let profile = profile_program(program, run_cfg.clone(), cfg.profiling)?;
+    let profiling_wall = t0.elapsed();
+
+    // Step 2: select fault sites.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sites = select_campaign(&profile, cfg.group, cfg.bit_flip, cfg.injections, &mut rng)?;
+
+    // Steps 3-4: inject and classify, fanned out over workers.
+    let runs = fan_out(cfg.workers, sites, |_, params: TransientParams| {
+        let t = Instant::now();
+        let (tool, handle) = TransientInjector::new(params.clone());
+        let out = run_program(program, run_cfg.clone(), Some(Box::new(tool)));
+        let wall = t.elapsed();
+        let outcome = classify(&golden, &out, check);
+        InjectionRun { params, outcome, injected: handle.get().injected, wall }
+    });
+
+    let mut counts = OutcomeCounts::default();
+    for r in &runs {
+        counts.add(&r.outcome);
+    }
+    let timing = CampaignTiming {
+        golden: golden_wall,
+        profiling: profiling_wall,
+        injections: runs.iter().map(|r| r.wall).collect(),
+    };
+    Ok(TransientCampaign {
+        program: program.name().to_string(),
+        profile,
+        golden,
+        counts,
+        runs,
+        timing,
+    })
+}
+
+/// Configuration of a permanent-fault campaign.
+#[derive(Debug, Clone)]
+pub struct PermanentCampaignConfig {
+    /// Base runtime configuration for every run.
+    pub runtime: RuntimeConfig,
+    /// RNG seed (SM, lane, and mask bit are drawn per opcode).
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// When `true` (the default), opcodes with zero dynamic count are
+    /// skipped, "further simplifying the campaign" (§IV-C). When `false`,
+    /// all 171 opcodes run, as in the paper's Figure 3 experiment.
+    pub skip_unused: bool,
+}
+
+impl Default for PermanentCampaignConfig {
+    fn default() -> Self {
+        PermanentCampaignConfig {
+            runtime: RuntimeConfig::default(),
+            seed: 0x5EED,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            skip_unused: true,
+        }
+    }
+}
+
+/// One permanent-fault experiment (one opcode).
+#[derive(Debug, Clone)]
+pub struct PermanentRun {
+    /// The fault parameters.
+    pub params: PermanentParams,
+    /// The classified outcome.
+    pub outcome: Outcome,
+    /// The opcode's dynamic instruction count in the profile — the
+    /// outcome's weight in Figure 3's aggregation.
+    pub weight: u64,
+    /// Fault activations during the run.
+    pub activations: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+/// Dynamic-count-weighted outcome fractions (Figure 3's y-axis).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightedOutcomes {
+    /// Weighted SDC fraction.
+    pub sdc: f64,
+    /// Weighted DUE fraction.
+    pub due: f64,
+    /// Weighted Masked fraction.
+    pub masked: f64,
+}
+
+/// Result of a permanent campaign.
+#[derive(Debug)]
+pub struct PermanentCampaign {
+    /// Program name.
+    pub program: String,
+    /// The profile used for pruning and weighting.
+    pub profile: Profile,
+    /// Unweighted tally over the runs.
+    pub counts: OutcomeCounts,
+    /// Weighted fractions (Figure 3).
+    pub weighted: WeightedOutcomes,
+    /// Per-opcode runs.
+    pub runs: Vec<PermanentRun>,
+    /// Duration of the profiling step.
+    pub profiling_wall: Duration,
+}
+
+impl PermanentCampaign {
+    /// Total campaign time: profiling plus all per-opcode runs.
+    pub fn total_time(&self) -> Duration {
+        self.profiling_wall + self.runs.iter().map(|r| r.wall).sum::<Duration>()
+    }
+}
+
+/// Run a complete permanent-fault campaign on one program: one experiment
+/// per (executed) opcode, outcomes weighted by dynamic count.
+///
+/// # Errors
+///
+/// Returns [`FiError`] if the golden or profiling run fails.
+pub fn run_permanent_campaign(
+    program: &dyn Program,
+    check: &dyn SdcCheck,
+    cfg: &PermanentCampaignConfig,
+) -> Result<PermanentCampaign, FiError> {
+    let golden = golden_run(program, cfg.runtime.clone())?;
+    let mut run_cfg = cfg.runtime.clone();
+    run_cfg.instr_budget = Some(golden.suggested_budget());
+
+    let t0 = Instant::now();
+    let profile = profile_program(program, run_cfg.clone(), ProfilingMode::Approximate)?;
+    let profiling_wall = t0.elapsed();
+
+    let executed = profile.executed_opcodes();
+    let opcodes: Vec<gpu_isa::Opcode> = if cfg.skip_unused {
+        executed.iter().copied().collect()
+    } else {
+        gpu_isa::Opcode::ALL.to_vec()
+    };
+
+    // Draw fault placement from the SMs and lanes the program actually
+    // occupies. With the paper's full-scale workloads every SM and lane is
+    // busy, so this coincides with Table III's full 0..N-1 ranges; with
+    // simulator-scaled grids it avoids trivially-masked dead placements.
+    let num_sms = run_cfg.gpu.num_sms;
+    let max_blocks =
+        golden.summary.launches.iter().map(|l| l.stats.blocks).max().unwrap_or(1).max(1);
+    let used_sms = num_sms.min(max_blocks.min(u32::MAX as u64) as u32).max(1);
+    let max_tpb = golden
+        .summary
+        .launches
+        .iter()
+        .map(|l| l.stats.threads_per_block)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let used_lanes = (gpu_isa::WARP_SIZE as u64).min(max_tpb).max(1) as u32;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let experiments: Vec<(PermanentParams, u64)> = opcodes
+        .iter()
+        .map(|op| {
+            let params = PermanentParams {
+                sm_id: rng.gen_range(0..used_sms),
+                lane_id: rng.gen_range(0..used_lanes),
+                bit_mask: 1u32 << rng.gen_range(0..32),
+                opcode_id: op.encode(),
+            };
+            (params, profile.opcode_total(*op))
+        })
+        .collect();
+
+    let runs = fan_out(cfg.workers, experiments, |_, (params, weight)| {
+        let t = Instant::now();
+        let (tool, handle) = PermanentInjector::new(params);
+        let out = run_program(program, run_cfg.clone(), Some(Box::new(tool)));
+        let wall = t.elapsed();
+        let outcome = classify(&golden, &out, check);
+        PermanentRun { params, outcome, weight, activations: handle.get().activations, wall }
+    });
+
+    let mut counts = OutcomeCounts::default();
+    let mut w = WeightedOutcomes::default();
+    let total_weight: u64 = runs.iter().map(|r| r.weight).sum();
+    for r in &runs {
+        counts.add(&r.outcome);
+        if total_weight > 0 {
+            let share = r.weight as f64 / total_weight as f64;
+            if r.outcome.is_sdc() {
+                w.sdc += share;
+            } else if r.outcome.is_due() {
+                w.due += share;
+            } else {
+                w.masked += share;
+            }
+        }
+    }
+
+    Ok(PermanentCampaign {
+        program: program.name().to_string(),
+        profile,
+        counts,
+        weighted: w,
+        runs,
+        profiling_wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_preserves_order_and_runs_everything() {
+        let out = fan_out(4, (0..100).collect(), |idx, item: i32| {
+            assert_eq!(idx as i32, item);
+            item * 2
+        });
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fan_out_single_worker() {
+        let out = fan_out(1, vec![1, 2, 3], |_, x: i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn timing_median_and_total() {
+        let t = CampaignTiming {
+            golden: Duration::from_millis(1),
+            profiling: Duration::from_millis(10),
+            injections: vec![
+                Duration::from_millis(3),
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+            ],
+        };
+        assert_eq!(t.median_injection(), Duration::from_millis(2));
+        assert_eq!(t.total(), Duration::from_millis(16));
+        assert_eq!(CampaignTiming::default().median_injection(), Duration::ZERO);
+    }
+}

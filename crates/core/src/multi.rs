@@ -1,0 +1,264 @@
+//! Multi-fault injection — Figure 1's "selection of one or more injection
+//! points for a particular experiment".
+//!
+//! A [`MultiTransientInjector`] carries several [`TransientParams`] and
+//! injects each when its site is reached, all within a single run. Sites
+//! may live in different kernels, different instances of the same kernel,
+//! or the same dynamic kernel. The counting semantics are identical to the
+//! single-fault injector: each fault's `instruction count` indexes the
+//! *group's* dynamic instructions within that fault's target kernel
+//! instance.
+
+use crate::params::TransientParams;
+use crate::transient::{CorruptedTarget, InjectionDetail};
+use gpu_isa::{Kernel, PReg, Reg};
+use gpu_runtime::KernelLaunchInfo;
+use nvbit::{CallSite, Inserter, NvBit, NvBitTool, When};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The record of a multi-fault run: per-fault injection details, in the
+/// order the faults were given.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiRecord {
+    /// `details[i]` is `Some` once fault `i` fired.
+    pub details: Vec<Option<InjectionDetail>>,
+}
+
+impl MultiRecord {
+    /// Number of faults that fired.
+    pub fn injected_count(&self) -> usize {
+        self.details.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+/// Handle to read the [`MultiRecord`] after the run.
+#[derive(Debug, Clone)]
+pub struct MultiHandle(Arc<Mutex<MultiRecord>>);
+
+impl MultiHandle {
+    /// Snapshot the record.
+    pub fn get(&self) -> MultiRecord {
+        self.0.lock().clone()
+    }
+}
+
+struct Pending {
+    /// Index into the original fault list.
+    index: usize,
+    params: TransientParams,
+    /// Group instructions seen so far in the target instance.
+    seen: u64,
+    done: bool,
+}
+
+/// A transient injector carrying several faults for one run.
+pub struct MultiTransientInjector {
+    /// Faults grouped by target kernel name.
+    by_kernel: HashMap<String, Vec<Pending>>,
+    record: Arc<Mutex<MultiRecord>>,
+}
+
+impl MultiTransientInjector {
+    /// Create an injector for `faults`, plus the handle to its record.
+    pub fn new(faults: Vec<TransientParams>) -> (NvBit<MultiTransientInjector>, MultiHandle) {
+        let record =
+            Arc::new(Mutex::new(MultiRecord { details: vec![None; faults.len()] }));
+        let mut by_kernel: HashMap<String, Vec<Pending>> = HashMap::new();
+        for (index, params) in faults.into_iter().enumerate() {
+            by_kernel.entry(params.kernel_name.clone()).or_default().push(Pending {
+                index,
+                params,
+                seen: 0,
+                done: false,
+            });
+        }
+        let inj = MultiTransientInjector { by_kernel, record: Arc::clone(&record) };
+        (NvBit::new(inj), MultiHandle(record))
+    }
+
+    fn corrupt(
+        p: &TransientParams,
+        site: &CallSite<'_>,
+        thread: &mut gpu_sim::ThreadCtx<'_>,
+    ) -> CorruptedTarget {
+        let gprs: Vec<Reg> =
+            if p.group.targets_gprs() { site.instr.gpr_dests() } else { Vec::new() };
+        let preds: Vec<PReg> =
+            if p.group.targets_predicates() { site.instr.pred_dests() } else { Vec::new() };
+        let total = gprs.len() + preds.len();
+        if total == 0 {
+            return CorruptedTarget::NoWritableDest;
+        }
+        let idx = ((p.destination_register * total as f64) as usize).min(total - 1);
+        if idx < gprs.len() {
+            let reg = gprs[idx];
+            let old = thread.read_reg(reg);
+            let mask = p.bit_flip.mask(p.bit_pattern, old);
+            let new = thread.corrupt_reg(reg, mask) ^ mask;
+            CorruptedTarget::Gpr { reg: reg.0, old, mask, new }
+        } else {
+            let preg = preds[idx - gprs.len()];
+            let old = thread.read_pred(preg);
+            let new = match p.bit_flip {
+                crate::bitflip::BitFlipModel::ZeroValue => false,
+                crate::bitflip::BitFlipModel::RandomValue => p.bit_pattern >= 0.5,
+                _ => !old,
+            };
+            if new != old {
+                thread.corrupt_pred(preg);
+            }
+            CorruptedTarget::Pred { reg: preg.0, old, new }
+        }
+    }
+}
+
+impl NvBitTool for MultiTransientInjector {
+    fn instrument_kernel(&mut self, kernel: &Kernel, inserter: &mut Inserter<'_>) {
+        let Some(pendings) = self.by_kernel.get(kernel.name()) else { return };
+        // Instrument the union of the faults' groups within this kernel.
+        for (pc, instr) in kernel.instrs().iter().enumerate() {
+            if pendings.iter().any(|p| p.params.group.contains(instr.op)) {
+                inserter.insert_call(pc, When::After, 0, Vec::new());
+            }
+        }
+    }
+
+    fn launch_enabled(&mut self, info: &KernelLaunchInfo<'_>) -> bool {
+        self.by_kernel
+            .get(info.kernel.name())
+            .map(|ps| {
+                ps.iter().any(|p| !p.done && p.params.kernel_count == info.instance)
+            })
+            .unwrap_or(false)
+    }
+
+    fn device_call(&mut self, site: &CallSite<'_>, thread: &mut gpu_sim::ThreadCtx<'_>) {
+        let Some(pendings) = self.by_kernel.get_mut(site.kernel) else { return };
+        let op = site.instr.opcode();
+        for p in pendings.iter_mut() {
+            if p.params.kernel_count != site.kernel_instance || !p.params.group.contains(op) {
+                continue;
+            }
+            let index = p.seen;
+            p.seen += 1;
+            if p.done || index != p.params.instruction_count {
+                continue;
+            }
+            p.done = true;
+            let target = Self::corrupt(&p.params, site, thread);
+            self.record.lock().details[p.index] = Some(InjectionDetail {
+                kernel: site.kernel.to_string(),
+                instance: site.kernel_instance,
+                pc: site.instr.pc(),
+                opcode: op,
+                global_tid: thread.meta.global_tid(),
+                target,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitflip::BitFlipModel;
+    use crate::igid::InstrGroup;
+    use gpu_isa::asm::KernelBuilder;
+    use gpu_isa::{encode, Module, SpecialReg};
+    use gpu_runtime::{run_program, Program, Runtime, RuntimeConfig, RuntimeError};
+
+    /// out[tid] = tid + 1, launched three times into separate buffers.
+    struct App;
+    impl Program for App {
+        fn name(&self) -> &str {
+            "app"
+        }
+        fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+            let mut k = KernelBuilder::new("inc");
+            let (out, tid, off) = (Reg(4), Reg(0), Reg(1));
+            k.ldc(out, 0);
+            k.s2r(tid, SpecialReg::TidX);
+            k.iaddi(Reg(2), tid, 1);
+            k.shli(off, tid, 2);
+            k.iadd(out, out, off);
+            k.stg(out, 0, Reg(2));
+            k.exit();
+            let bytes = encode::encode_module(&Module::new("m", vec![k.finish()]));
+            let m = rt.load_module(&bytes)?;
+            let k = rt.get_kernel(m, "inc")?;
+            let mut sums = Vec::new();
+            for _ in 0..3 {
+                let buf = rt.alloc(32 * 4)?;
+                rt.launch(k, 1u32, 32u32, &[buf.addr()])?;
+                sums.push(rt.read_u32s(buf, 32)?.iter().sum::<u32>());
+            }
+            rt.synchronize()?;
+            rt.println(format!("{sums:?}"));
+            Ok(())
+        }
+    }
+
+    fn fault(instance: u64, icount: u64) -> TransientParams {
+        TransientParams {
+            group: InstrGroup::Gp,
+            bit_flip: BitFlipModel::FlipSingleBit,
+            kernel_name: "inc".into(),
+            kernel_count: instance,
+            // IADD32I results occupy group indices 64..96 per instance.
+            instruction_count: icount,
+            destination_register: 0.0,
+            bit_pattern: 0.0,
+        }
+    }
+
+    #[test]
+    fn injects_multiple_faults_in_one_run() {
+        // Two faults in different instances, one more in the same instance
+        // as the first.
+        let faults = vec![fault(0, 64), fault(2, 70), fault(0, 80)];
+        let (tool, handle) = MultiTransientInjector::new(faults);
+        let out = run_program(&App, RuntimeConfig::default(), Some(Box::new(tool)));
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        let rec = handle.get();
+        assert_eq!(rec.injected_count(), 3, "{rec:?}");
+        let d0 = rec.details[0].as_ref().expect("fault 0");
+        let d1 = rec.details[1].as_ref().expect("fault 1");
+        let d2 = rec.details[2].as_ref().expect("fault 2");
+        assert_eq!(d0.instance, 0);
+        assert_eq!(d1.instance, 2);
+        assert_eq!(d2.instance, 0);
+        assert_eq!(d0.global_tid, 0, "index 64 is thread 0's IADD32I");
+        assert_eq!(d1.global_tid, 6);
+        assert_eq!(d2.global_tid, 16);
+        // Instance 1 untouched; instances 0 and 2 each off by ±1 per flip.
+        assert!(out.stdout.contains(", 528,"), "{}", out.stdout);
+    }
+
+    #[test]
+    fn unreached_faults_stay_pending() {
+        let faults = vec![fault(0, 64), fault(1, 500_000)];
+        let (tool, handle) = MultiTransientInjector::new(faults);
+        let out = run_program(&App, RuntimeConfig::default(), Some(Box::new(tool)));
+        assert!(out.termination.is_clean());
+        let rec = handle.get();
+        assert_eq!(rec.injected_count(), 1);
+        assert!(rec.details[0].is_some());
+        assert!(rec.details[1].is_none());
+    }
+
+    #[test]
+    fn multi_with_one_fault_matches_single_injector() {
+        let p = fault(1, 64 + 9);
+        let (multi_tool, multi_handle) = MultiTransientInjector::new(vec![p.clone()]);
+        let multi_out = run_program(&App, RuntimeConfig::default(), Some(Box::new(multi_tool)));
+        let (single_tool, single_handle) = crate::transient::TransientInjector::new(p);
+        let single_out =
+            run_program(&App, RuntimeConfig::default(), Some(Box::new(single_tool)));
+        assert_eq!(multi_out.stdout, single_out.stdout);
+        let m = multi_handle.get().details[0].clone().expect("fired");
+        let s = single_handle.get().detail.expect("fired");
+        assert_eq!(m, s, "identical architectural event");
+    }
+}

@@ -1,0 +1,427 @@
+//! The instruction profiler — NVBitFI's `profiler.so`.
+//!
+//! The profiler builds "a profile containing one line for every dynamic
+//! kernel and the total dynamic instruction counts for every opcode in every
+//! thread in that dynamic kernel" (§III-A). Predicated-off instructions are
+//! excluded (the simulator never delivers callbacks for them). The profile
+//! is the uniform population transient fault sites are drawn from, and it
+//! also tells permanent campaigns which opcodes a program actually executes.
+//!
+//! Two modes, as in the paper:
+//!
+//! * **exact** — instruments every dynamic kernel (expensive, Figure 4),
+//! * **approximate** — instruments only the *first* instance of each static
+//!   kernel and assumes later instances repeat its counts (cheap, but the
+//!   profile can drift from reality — the divergence studied in Figure 2).
+
+use crate::error::FiError;
+use crate::igid::InstrGroup;
+use gpu_isa::{Kernel, Opcode, OPCODE_COUNT};
+use gpu_runtime::{
+    run_program, KernelLaunchInfo, LaunchRecord, Program, RunSummary, RuntimeConfig,
+};
+use nvbit::{CallSite, Inserter, NvBit, NvBitTool, When};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Exact or approximate profiling (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProfilingMode {
+    /// Count every dynamic instruction of every dynamic kernel.
+    Exact,
+    /// Count only the first instance of each static kernel; extrapolate.
+    Approximate,
+}
+
+impl std::fmt::Display for ProfilingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ProfilingMode::Exact => "exact",
+            ProfilingMode::Approximate => "approximate",
+        })
+    }
+}
+
+/// Per-opcode dynamic instruction counts of one dynamic kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub kernel: String,
+    /// 0-based dynamic instance of the kernel name.
+    pub instance: u64,
+    /// Thread-level dynamic instruction counts per opcode.
+    pub counts: BTreeMap<Opcode, u64>,
+}
+
+impl KernelProfile {
+    /// Total dynamic instructions in this dynamic kernel.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Dynamic instructions belonging to `group`.
+    pub fn total_in_group(&self, group: InstrGroup) -> u64 {
+        self.counts.iter().filter(|(op, _)| group.contains(**op)).map(|(_, n)| n).sum()
+    }
+}
+
+/// A fault site located by [`Profile::locate`]: the paper's
+/// `<kernel name, kernel count, instruction count>` tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSite {
+    /// Target kernel name.
+    pub kernel: String,
+    /// 0-based dynamic instance of the kernel name.
+    pub kernel_count: u64,
+    /// 0-based index among the group's dynamic instructions within that
+    /// kernel instance.
+    pub instruction_count: u64,
+}
+
+/// A program's instruction profile: one entry per dynamic kernel, in launch
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    /// How the profile was produced.
+    pub mode: ProfilingMode,
+    /// Per-dynamic-kernel counts, in launch order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+impl Profile {
+    /// Total dynamic instructions across the program.
+    pub fn total(&self) -> u64 {
+        self.kernels.iter().map(|k| k.total()).sum()
+    }
+
+    /// Total dynamic instructions in `group` across the program — the `N`
+    /// that transient fault selection draws from.
+    pub fn total_in_group(&self, group: InstrGroup) -> u64 {
+        self.kernels.iter().map(|k| k.total_in_group(group)).sum()
+    }
+
+    /// Opcodes with a nonzero dynamic count — the set a permanent-fault
+    /// campaign needs to cover (§III-A: unused opcodes can be skipped).
+    pub fn executed_opcodes(&self) -> BTreeSet<Opcode> {
+        let mut set = BTreeSet::new();
+        for k in &self.kernels {
+            for (op, n) in &k.counts {
+                if *n > 0 {
+                    set.insert(*op);
+                }
+            }
+        }
+        set
+    }
+
+    /// Total dynamic count of one opcode across the program.
+    pub fn opcode_total(&self, op: Opcode) -> u64 {
+        self.kernels.iter().map(|k| k.counts.get(&op).copied().unwrap_or(0)).sum()
+    }
+
+    /// Map the `n`-th dynamic group instruction (0-based, program order)
+    /// onto its `<kernel, kernel count, instruction count>` fault site.
+    ///
+    /// Returns `None` if `n` is at or beyond the group's population.
+    pub fn locate(&self, group: InstrGroup, n: u64) -> Option<FaultSite> {
+        let mut before = 0u64;
+        for k in &self.kernels {
+            let here = k.total_in_group(group);
+            if n < before + here {
+                return Some(FaultSite {
+                    kernel: k.kernel.clone(),
+                    kernel_count: k.instance,
+                    instruction_count: n - before,
+                });
+            }
+            before += here;
+        }
+        None
+    }
+
+    // --- file format --------------------------------------------------------
+
+    /// Serialize in the profiler's text format: a header followed by one
+    /// line per dynamic kernel.
+    pub fn to_file(&self) -> String {
+        let mut out = format!("# nvbitfi profile mode={}\n", self.mode);
+        for k in &self.kernels {
+            let counts: Vec<String> =
+                k.counts.iter().filter(|(_, n)| **n > 0).map(|(op, n)| format!("{op}={n}")).collect();
+            out.push_str(&format!("{}:{}: {}\n", k.kernel, k.instance, counts.join(",")));
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`Profile::to_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::BadProfileFile`] naming the offending line.
+    pub fn from_file(text: &str) -> Result<Profile, FiError> {
+        let bad = |line: usize, reason: String| FiError::BadProfileFile { line, reason };
+        let mut lines = text.lines().enumerate();
+        let (_, header) =
+            lines.next().ok_or_else(|| bad(1, "empty profile".into()))?;
+        let mode = if header.contains("mode=exact") {
+            ProfilingMode::Exact
+        } else if header.contains("mode=approximate") {
+            ProfilingMode::Approximate
+        } else {
+            return Err(bad(1, format!("bad header `{header}`")));
+        };
+        let mut kernels = Vec::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            // kernel:instance: OP=count,OP=count
+            let (head, rest) = line
+                .rsplit_once(": ")
+                .ok_or_else(|| bad(lineno, "missing `: ` separator".into()))?;
+            let (kernel, instance_s) = head
+                .rsplit_once(':')
+                .ok_or_else(|| bad(lineno, "missing kernel:instance".into()))?;
+            let instance = instance_s
+                .parse::<u64>()
+                .map_err(|e| bad(lineno, format!("bad instance: {e}")))?;
+            let mut counts = BTreeMap::new();
+            for item in rest.split(',').filter(|s| !s.trim().is_empty()) {
+                let (op_s, n_s) = item
+                    .split_once('=')
+                    .ok_or_else(|| bad(lineno, format!("bad count `{item}`")))?;
+                let op = Opcode::from_mnemonic(op_s.trim())
+                    .ok_or_else(|| bad(lineno, format!("unknown opcode `{op_s}`")))?;
+                let n = n_s
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|e| bad(lineno, format!("bad count for {op_s}: {e}")))?;
+                counts.insert(op, n);
+            }
+            kernels.push(KernelProfile { kernel: kernel.to_string(), instance, counts });
+        }
+        Ok(Profile { mode, kernels })
+    }
+}
+
+/// The profiler tool (attachable via [`nvbit::NvBit`]).
+pub struct Profiler {
+    mode: ProfilingMode,
+    current: Box<[u64; OPCODE_COUNT]>,
+    /// Counts of the first instance of each static kernel (approximate mode).
+    first_instance: HashMap<String, BTreeMap<Opcode, u64>>,
+    /// Dynamic kernels in launch order.
+    kernels: Vec<KernelProfile>,
+    sink: Arc<Mutex<Option<Profile>>>,
+}
+
+/// Handle to retrieve the [`Profile`] after the profiled run exits.
+#[derive(Debug, Clone)]
+pub struct ProfileHandle(Arc<Mutex<Option<Profile>>>);
+
+impl ProfileHandle {
+    /// Take the finished profile (available after the program exits).
+    pub fn take(&self) -> Option<Profile> {
+        self.0.lock().take()
+    }
+}
+
+impl Profiler {
+    /// Create a profiler and the handle its profile will be delivered to.
+    pub fn new(mode: ProfilingMode) -> (NvBit<Profiler>, ProfileHandle) {
+        let sink = Arc::new(Mutex::new(None));
+        let p = Profiler {
+            mode,
+            current: Box::new([0; OPCODE_COUNT]),
+            first_instance: HashMap::new(),
+            kernels: Vec::new(),
+            sink: Arc::clone(&sink),
+        };
+        (NvBit::new(p), ProfileHandle(sink))
+    }
+
+    fn drain_current(&mut self) -> BTreeMap<Opcode, u64> {
+        let mut counts = BTreeMap::new();
+        for (idx, n) in self.current.iter_mut().enumerate() {
+            if *n > 0 {
+                counts.insert(Opcode::decode(idx as u16).expect("valid index"), *n);
+                *n = 0;
+            }
+        }
+        counts
+    }
+}
+
+impl NvBitTool for Profiler {
+    fn instrument_kernel(&mut self, _kernel: &Kernel, inserter: &mut Inserter<'_>) {
+        inserter.insert_call_everywhere(When::Before, 0);
+    }
+
+    fn launch_enabled(&mut self, info: &KernelLaunchInfo<'_>) -> bool {
+        match self.mode {
+            ProfilingMode::Exact => true,
+            ProfilingMode::Approximate => info.instance == 0,
+        }
+    }
+
+    fn device_call(&mut self, site: &CallSite<'_>, _t: &mut gpu_sim::ThreadCtx<'_>) {
+        self.current[site.instr.opcode().encode() as usize] += 1;
+    }
+
+    fn on_kernel_complete(&mut self, record: &LaunchRecord) {
+        let counts = match self.mode {
+            ProfilingMode::Exact => self.drain_current(),
+            ProfilingMode::Approximate => {
+                if record.instance == 0 {
+                    let counts = self.drain_current();
+                    self.first_instance.insert(record.kernel.clone(), counts.clone());
+                    counts
+                } else {
+                    // Extrapolate: assume this instance repeats the first.
+                    self.first_instance.get(&record.kernel).cloned().unwrap_or_default()
+                }
+            }
+        };
+        self.kernels.push(KernelProfile {
+            kernel: record.kernel.clone(),
+            instance: record.instance,
+            counts,
+        });
+    }
+
+    fn on_exit(&mut self, _summary: &RunSummary) {
+        *self.sink.lock() =
+            Some(Profile { mode: self.mode, kernels: std::mem::take(&mut self.kernels) });
+    }
+}
+
+/// Run `program` under the profiler and return its profile (Figure 1,
+/// step 1).
+///
+/// # Errors
+///
+/// Returns [`FiError::GoldenRunFailed`] if the profiled run does not
+/// terminate cleanly (profiling assumes a fault-free program).
+pub fn profile_program(
+    program: &dyn Program,
+    cfg: RuntimeConfig,
+    mode: ProfilingMode,
+) -> Result<Profile, FiError> {
+    let (tool, handle) = Profiler::new(mode);
+    let out = run_program(program, cfg, Some(Box::new(tool)));
+    if !out.termination.is_clean() {
+        return Err(FiError::GoldenRunFailed {
+            program: program.name().to_string(),
+            reason: format!("profiled run ended with {:?}", out.termination),
+        });
+    }
+    handle.take().ok_or_else(|| FiError::GoldenRunFailed {
+        program: program.name().to_string(),
+        reason: "profiler produced no profile".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(kernel: &str, instance: u64, counts: &[(&str, u64)]) -> KernelProfile {
+        KernelProfile {
+            kernel: kernel.into(),
+            instance,
+            counts: counts
+                .iter()
+                .map(|(m, n)| (Opcode::from_mnemonic(m).expect(m), *n))
+                .collect(),
+        }
+    }
+
+    fn sample() -> Profile {
+        Profile {
+            mode: ProfilingMode::Exact,
+            kernels: vec![
+                kp("alpha", 0, &[("FADD", 100), ("LDG", 50), ("EXIT", 32)]),
+                kp("beta", 0, &[("DFMA", 10), ("ISETP", 20)]),
+                kp("alpha", 1, &[("FADD", 80), ("LDG", 40), ("EXIT", 32)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let p = sample();
+        assert_eq!(p.total(), 100 + 50 + 32 + 10 + 20 + 80 + 40 + 32);
+        assert_eq!(p.total_in_group(InstrGroup::Fp32), 180);
+        assert_eq!(p.total_in_group(InstrGroup::Ld), 90);
+        assert_eq!(p.total_in_group(InstrGroup::Fp64), 10);
+        assert_eq!(p.total_in_group(InstrGroup::Pr), 20);
+        assert_eq!(p.total_in_group(InstrGroup::NoDest), 64);
+        assert_eq!(p.total_in_group(InstrGroup::GpPr), p.total() - 64);
+        assert_eq!(p.total_in_group(InstrGroup::Gp), p.total() - 64 - 20);
+    }
+
+    #[test]
+    fn executed_opcodes_and_totals() {
+        let p = sample();
+        let ops = p.executed_opcodes();
+        assert_eq!(ops.len(), 5);
+        assert_eq!(p.opcode_total(Opcode::from_mnemonic("FADD").expect("op")), 180);
+        assert_eq!(p.opcode_total(Opcode::from_mnemonic("HMMA").expect("op")), 0);
+    }
+
+    #[test]
+    fn locate_walks_kernels_in_order() {
+        let p = sample();
+        // G_FP32 population: alpha#0 has 100 (indices 0..100), alpha#1 has
+        // 80 (indices 100..180).
+        let s = p.locate(InstrGroup::Fp32, 0).expect("site");
+        assert_eq!((s.kernel.as_str(), s.kernel_count, s.instruction_count), ("alpha", 0, 0));
+        let s = p.locate(InstrGroup::Fp32, 99).expect("site");
+        assert_eq!((s.kernel.as_str(), s.kernel_count, s.instruction_count), ("alpha", 0, 99));
+        let s = p.locate(InstrGroup::Fp32, 100).expect("site");
+        assert_eq!((s.kernel.as_str(), s.kernel_count, s.instruction_count), ("alpha", 1, 0));
+        let s = p.locate(InstrGroup::Fp32, 179).expect("site");
+        assert_eq!((s.kernel.as_str(), s.kernel_count, s.instruction_count), ("alpha", 1, 79));
+        assert_eq!(p.locate(InstrGroup::Fp32, 180), None);
+        // FP64 population lives in beta.
+        let s = p.locate(InstrGroup::Fp64, 5).expect("site");
+        assert_eq!((s.kernel.as_str(), s.kernel_count), ("beta", 0));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let p = sample();
+        let text = p.to_file();
+        assert!(text.starts_with("# nvbitfi profile mode=exact"));
+        assert_eq!(Profile::from_file(&text).expect("parse"), p);
+    }
+
+    #[test]
+    fn file_parse_errors_name_lines() {
+        assert!(matches!(
+            Profile::from_file(""),
+            Err(FiError::BadProfileFile { line: 1, .. })
+        ));
+        assert!(matches!(
+            Profile::from_file("# nvbitfi profile mode=exact\ngarbage-without-separator"),
+            Err(FiError::BadProfileFile { line: 2, .. })
+        ));
+        assert!(matches!(
+            Profile::from_file("# nvbitfi profile mode=exact\nk:0: NOTANOP=5"),
+            Err(FiError::BadProfileFile { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_kernel_line_roundtrips() {
+        let p = Profile {
+            mode: ProfilingMode::Approximate,
+            kernels: vec![kp("quiet", 0, &[])],
+        };
+        let back = Profile::from_file(&p.to_file()).expect("parse");
+        assert_eq!(back, p);
+    }
+}

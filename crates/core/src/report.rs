@@ -1,0 +1,119 @@
+//! Plain-text reporting helpers used by the benchmark harness and examples.
+
+use crate::campaign::{PermanentCampaign, TransientCampaign};
+use crate::outcome::OutcomeCounts;
+use std::fmt::Write as _;
+
+/// Render rows as a fixed-width text table. The first row is the header.
+///
+/// ```
+/// let t = nvbitfi::report::table(&[
+///     vec!["program".into(), "SDC".into()],
+///     vec!["303.ostencil".into(), "32.5%".into()],
+/// ]);
+/// assert!(t.contains("303.ostencil"));
+/// ```
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        for (c, cell) in row.iter().enumerate() {
+            let pad = widths[c];
+            if c + 1 == row.len() {
+                let _ = write!(out, "{cell:<pad$}");
+            } else {
+                let _ = write!(out, "{cell:<pad$}  ");
+            }
+        }
+        out.push('\n');
+        if i == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Percentage with one decimal, e.g. `32.5%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// An `OutcomeCounts` row: `[sdc, due, masked]` percentages.
+pub fn outcome_cells(c: &OutcomeCounts) -> Vec<String> {
+    let (sdc, due, masked) = c.fractions();
+    vec![pct(sdc), pct(due), pct(masked)]
+}
+
+/// One-paragraph summary of a transient campaign.
+pub fn transient_summary(c: &TransientCampaign) -> String {
+    let injected = c.runs.iter().filter(|r| r.injected).count();
+    format!(
+        "{}: {} over {} injections ({} fired); profile: {} dynamic kernels, \
+         {} dynamic instructions ({} profiling); median injection run {:?}, campaign total {:?}",
+        c.program,
+        c.counts,
+        c.runs.len(),
+        injected,
+        c.profile.kernels.len(),
+        c.profile.total(),
+        c.profile.mode,
+        c.timing.median_injection(),
+        c.timing.total(),
+    )
+}
+
+/// One-paragraph summary of a permanent campaign.
+pub fn permanent_summary(c: &PermanentCampaign) -> String {
+    format!(
+        "{}: weighted SDC {} DUE {} Masked {} over {} opcode experiments; \
+         unweighted {}; campaign total {:?}",
+        c.program,
+        pct(c.weighted.sdc),
+        pct(c.weighted.due),
+        pct(c.weighted.masked),
+        c.runs.len(),
+        c.counts,
+        c.total_time(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&[
+            vec!["a".into(), "long-header".into()],
+            vec!["wider-cell".into(), "x".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("---"));
+        // Both data columns start at the same offset.
+        assert_eq!(lines[0].find("long-header"), lines[2].find("x"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.325), "32.5%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn empty_table() {
+        assert_eq!(table(&[]), "");
+    }
+}

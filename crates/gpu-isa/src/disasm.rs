@@ -1,0 +1,89 @@
+//! Disassembler: render kernels back to SASS-like text.
+//!
+//! This is the analog of `nvdisasm` / `cuobjdump`: given only the *binary*
+//! module, produce human-readable listings. The profiler and injector report
+//! injection sites using these listings.
+
+use crate::{encode, Instr, IsaError, Kernel, Module};
+use std::fmt::Write as _;
+
+/// Disassemble one instruction, with its index, in listing format.
+///
+/// ```
+/// use gpu_isa::{disasm, Instr, Opcode};
+/// let line = disasm::line(3, &Instr::new(Opcode::EXIT));
+/// assert!(line.contains("EXIT"));
+/// assert!(line.starts_with("/*0003*/"));
+/// ```
+pub fn line(index: usize, i: &Instr) -> String {
+    format!("/*{index:04}*/  {i}")
+}
+
+/// Disassemble a whole kernel into a listing.
+pub fn kernel(k: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".kernel {}  // {} instructions, {} shared bytes", k.name(), k.len(), k.shared_bytes());
+    for (idx, i) in k.instrs().iter().enumerate() {
+        let _ = writeln!(out, "{}", line(idx, i));
+    }
+    out
+}
+
+/// Disassemble a whole module.
+pub fn module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".module {}  // {} kernels", m.name(), m.kernels().len());
+    for k in m.kernels() {
+        out.push('\n');
+        out.push_str(&kernel(k));
+    }
+    out
+}
+
+/// Disassemble a module *binary* — the `nvdisasm` workflow.
+///
+/// # Errors
+///
+/// Returns any [`IsaError`] from decoding the binary.
+pub fn module_bytes(bytes: &[u8]) -> Result<String, IsaError> {
+    Ok(module(&encode::decode_module(bytes)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::KernelBuilder;
+    use crate::{Module, Reg};
+
+    fn sample() -> Module {
+        let mut k = KernelBuilder::new("k0");
+        k.movi(Reg(0), 42);
+        k.fadd(Reg(1), Reg(0), Reg(0));
+        k.exit();
+        Module::new("m0", vec![k.finish()])
+    }
+
+    #[test]
+    fn kernel_listing_has_all_instructions() {
+        let m = sample();
+        let text = kernel(&m.kernels()[0]);
+        assert!(text.contains(".kernel k0"));
+        assert!(text.contains("MOV32I"));
+        assert!(text.contains("FADD"));
+        assert!(text.contains("EXIT"));
+    }
+
+    #[test]
+    fn module_bytes_roundtrips_through_binary() {
+        let m = sample();
+        let bytes = encode::encode_module(&m);
+        let text = module_bytes(&bytes).expect("disassemble");
+        assert!(text.contains(".module m0"));
+        assert!(text.contains("FADD"));
+    }
+
+    #[test]
+    fn module_bytes_propagates_decode_errors() {
+        assert!(module_bytes(b"garbage").is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Error type for ISA-level operations (encoding, decoding, assembling).
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or assembling kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The module binary did not start with the expected magic bytes.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 8],
+    },
+    /// The module binary declares an unsupported format version.
+    BadVersion {
+        /// The version actually found.
+        found: u16,
+    },
+    /// The binary ended in the middle of a record.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// An opcode value outside the 171-opcode table.
+    UnknownOpcode {
+        /// The raw encoding value.
+        value: u16,
+    },
+    /// A modifier `(tag, payload)` pair that does not decode.
+    MalformedModifier {
+        /// The raw tag byte.
+        tag: u8,
+        /// The raw payload.
+        payload: u16,
+    },
+    /// An operand tag byte that does not decode.
+    MalformedOperand {
+        /// The raw tag byte.
+        tag: u8,
+    },
+    /// A destination tag byte that does not decode.
+    MalformedDest {
+        /// The raw tag byte.
+        tag: u8,
+    },
+    /// A kernel name that is not valid UTF-8 or is empty.
+    BadKernelName,
+    /// A branch in the assembler references a label that was never placed.
+    UnresolvedLabel {
+        /// The label's name.
+        label: String,
+    },
+    /// A label was defined twice in the same kernel.
+    DuplicateLabel {
+        /// The label's name.
+        label: String,
+    },
+    /// A branch target instruction index is out of range for the kernel.
+    BranchOutOfRange {
+        /// The out-of-range target.
+        target: u32,
+        /// Number of instructions in the kernel.
+        len: usize,
+    },
+    /// A text listing failed to parse.
+    ParseError {
+        /// 1-based line number within the listing.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::BadMagic { found } => {
+                write!(f, "module binary has bad magic bytes {found:02x?}")
+            }
+            IsaError::BadVersion { found } => {
+                write!(f, "unsupported module format version {found}")
+            }
+            IsaError::Truncated { context } => {
+                write!(f, "module binary truncated while decoding {context}")
+            }
+            IsaError::UnknownOpcode { value } => write!(f, "unknown opcode encoding {value}"),
+            IsaError::MalformedModifier { tag, payload } => {
+                write!(f, "malformed modifier tag {tag} payload {payload:#x}")
+            }
+            IsaError::MalformedOperand { tag } => write!(f, "malformed operand tag {tag}"),
+            IsaError::MalformedDest { tag } => write!(f, "malformed destination tag {tag}"),
+            IsaError::BadKernelName => write!(f, "kernel name is empty or not valid UTF-8"),
+            IsaError::UnresolvedLabel { label } => {
+                write!(f, "branch references unplaced label `{label}`")
+            }
+            IsaError::DuplicateLabel { label } => write!(f, "label `{label}` defined twice"),
+            IsaError::BranchOutOfRange { target, len } => {
+                write!(f, "branch target {target} out of range for kernel of {len} instructions")
+            }
+            IsaError::ParseError { line, reason } => {
+                write!(f, "listing line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let samples: Vec<IsaError> = vec![
+            IsaError::BadMagic { found: [0; 8] },
+            IsaError::BadVersion { found: 9 },
+            IsaError::Truncated { context: "kernel header" },
+            IsaError::UnknownOpcode { value: 9999 },
+            IsaError::MalformedModifier { tag: 99, payload: 1 },
+            IsaError::MalformedOperand { tag: 9 },
+            IsaError::MalformedDest { tag: 9 },
+            IsaError::BadKernelName,
+            IsaError::UnresolvedLabel { label: "loop".into() },
+            IsaError::DuplicateLabel { label: "loop".into() },
+            IsaError::BranchOutOfRange { target: 10, len: 3 },
+            IsaError::ParseError { line: 3, reason: "bad register".into() },
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,182 @@
+//! Software IEEE 754 binary16 ("half") conversions.
+//!
+//! The packed-FP16 opcodes (`HADD2`, `HMUL2`, `HFMA2`, …) operate on two
+//! halves packed into one 32-bit register, computing in f32 and rounding
+//! back to f16 — the same model as the hardware's HFMA pipelines. These
+//! conversions implement binary16 exactly, including subnormals, infinities,
+//! NaN, and round-to-nearest-even.
+
+/// Convert binary16 bits to `f32` (exact).
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = ((bits >> 15) & 1) as u32;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let frac = (bits & 0x3FF) as u32;
+    let out = match (exp, frac) {
+        (0, 0) => sign << 31, // ±0
+        (0, f) => {
+            // subnormal: value = f × 2^-24; normalize into f32. The msb of
+            // `f` sits at bit 31 − lz, so the f32 exponent is 134 − lz and
+            // the mantissa needs that msb moved to (implicit) bit 23.
+            let lz = f.leading_zeros();
+            let frac32 = (f << (lz - 8)) & 0x007F_FFFF;
+            let exp32 = 134 - lz;
+            (sign << 31) | (exp32 << 23) | frac32
+        }
+        (0x1F, 0) => (sign << 31) | 0x7F80_0000, // ±inf
+        (0x1F, f) => (sign << 31) | 0x7F80_0000 | (f << 13) | 0x0040_0000, // NaN (quiet)
+        (e, f) => {
+            let exp32 = e + 127 - 15;
+            (sign << 31) | (exp32 << 23) | (f << 13)
+        }
+    };
+    f32::from_bits(out)
+}
+
+/// Convert `f32` to binary16 bits, round-to-nearest-even; overflow → ±inf.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 31) & 1) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // inf / NaN
+        return (sign << 15)
+            | 0x7C00
+            | if frac != 0 { 0x200 | ((frac >> 13) as u16 & 0x3FF) } else { 0 };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return (sign << 15) | 0x7C00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // normal half
+        let exp16 = (unbiased + 15) as u32;
+        let mant = frac >> 13;
+        let round_bits = frac & 0x1FFF;
+        let mut h = ((sign as u32) << 15) | (exp16 << 10) | mant;
+        // round to nearest even
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (mant & 1) == 1) {
+            h += 1; // may carry into the exponent — that is correct rounding
+        }
+        return h as u16;
+    }
+    if unbiased >= -25 {
+        // subnormal half: implicit 1 participates
+        let mant = frac | 0x0080_0000;
+        let shift = (-14 - unbiased + 13) as u32;
+        let sub = mant >> shift;
+        let round_bits = mant & ((1 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut h = ((sign as u32) << 15) | sub;
+        if round_bits > halfway || (round_bits == halfway && (sub & 1) == 1) {
+            h += 1;
+        }
+        return h as u16;
+    }
+    sign << 15 // underflow → ±0
+}
+
+/// The low half of a packed register, as `f32`.
+#[inline]
+pub fn unpack_lo(packed: u32) -> f32 {
+    f16_to_f32(packed as u16)
+}
+
+/// The high half of a packed register, as `f32`.
+#[inline]
+pub fn unpack_hi(packed: u32) -> f32 {
+    f16_to_f32((packed >> 16) as u16)
+}
+
+/// Pack two `f32` values into half2 format (lo in bits 0..16).
+#[inline]
+pub fn pack(lo: f32, hi: f32) -> u32 {
+    (f32_to_f16(lo) as u32) | ((f32_to_f16(hi) as u32) << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 2.0, 0.5, 0.25, 1024.0, -2048.0, 65504.0] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(f32_to_f16(1.0), 0x3C00);
+        assert_eq!(f32_to_f16(-2.0), 0xC000);
+        assert_eq!(f32_to_f16(0.5), 0x3800);
+        assert_eq!(f32_to_f16(65504.0), 0x7BFF, "f16 max");
+        assert_eq!(f16_to_f32(0x3C00), 1.0);
+        assert_eq!(f16_to_f32(0x7BFF), 65504.0);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(f32_to_f16(70000.0), 0x7C00);
+        assert_eq!(f32_to_f16(-70000.0), 0xFC00);
+        assert_eq!(f16_to_f32(0x7C00), f32::INFINITY);
+        assert_eq!(f16_to_f32(0xFC00), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let h = f32_to_f16(f32::NAN);
+        assert_eq!(h & 0x7C00, 0x7C00);
+        assert_ne!(h & 0x3FF, 0);
+        assert!(f16_to_f32(h).is_nan());
+    }
+
+    #[test]
+    fn subnormals() {
+        // smallest positive subnormal: 2^-24
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16(tiny), 0x0001);
+        assert_eq!(f16_to_f32(0x0001), tiny);
+        // largest subnormal: (1023/1024) × 2^-14
+        let big_sub = f16_to_f32(0x03FF);
+        assert!((big_sub - (1023.0 / 1024.0) * 2.0f32.powi(-14)).abs() < 1e-12);
+        assert_eq!(f32_to_f16(big_sub), 0x03FF);
+        // underflow to zero
+        assert_eq!(f32_to_f16(1e-30), 0x0000);
+        assert_eq!(f32_to_f16(-1e-30), 0x8000);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between two halves; ties to even.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16(halfway), 0x3C00, "ties to even (mantissa 0)");
+        // 1.0 + 3×2^-11 is halfway with odd low bit; rounds up.
+        let halfway_odd = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16(halfway_odd), 0x3C02);
+        // rounding carry into the exponent
+        let almost_two = 2.0 - 2.0f32.powi(-12);
+        assert_eq!(f32_to_f16(almost_two), 0x4000, "carry yields exactly 2.0");
+    }
+
+    #[test]
+    fn pack_unpack() {
+        let p = pack(1.5, -2.0);
+        assert_eq!(unpack_lo(p), 1.5);
+        assert_eq!(unpack_hi(p), -2.0);
+        assert_eq!(p, 0x3E00 | (0xC000 << 16));
+    }
+
+    #[test]
+    fn every_f16_roundtrips_through_f32() {
+        for bits in 0..=u16::MAX {
+            let f = f16_to_f32(bits);
+            if f.is_nan() {
+                assert!(f16_to_f32(f32_to_f16(f)).is_nan());
+            } else {
+                assert_eq!(f32_to_f16(f), bits, "bits {bits:#06x} -> {f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+#![warn(missing_docs)]
+
+//! # gpu-runtime — a CUDA-like driver/runtime for the simulated GPU
+//!
+//! The attach surface NVBitFI-style tools hook into (see `DESIGN.md`). A
+//! [`Program`] (host application) loads *binary* kernel modules, allocates
+//! device memory, and launches kernels; a [`Tool`] attached with
+//! [`Runtime::attach_tool`] — the `LD_PRELOAD` analog — transparently
+//! observes module loads and kernel launches and can instrument instructions
+//! with register-level callbacks.
+//!
+//! The runtime reproduces the CUDA error semantics the paper's outcome
+//! taxonomy (Table V) depends on:
+//!
+//! * a kernel trap (illegal address, misalignment, …) latches a **sticky
+//!   error** and silently skips subsequent launches; whether the process
+//!   notices depends on whether host code calls [`Runtime::last_error`] or
+//!   [`Runtime::synchronize`] — unchecked anomalies become *potential DUEs*,
+//! * a hang (instruction-budget timeout) is fatal: the monitor kills the
+//!   run ([`RuntimeError::Hang`], [`Termination::Hang`]),
+//! * everything a checker script could look at — stdout, output files, exit
+//!   status, anomaly log — is captured in [`ProgramOutput`].
+
+mod error;
+mod program;
+mod runtime;
+mod tool;
+
+pub use error::{KernelFault, RuntimeError};
+pub use program::{run_program, Program, ProgramOutput, Termination};
+pub use runtime::{KernelHandle, ModuleId, Runtime, RuntimeConfig};
+pub use tool::{InstrMasks, KernelLaunchInfo, LaunchRecord, RunSummary, Tool};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::asm::KernelBuilder;
+    use gpu_isa::{encode, Module, Reg, SpecialReg};
+    use gpu_sim::{ExecHook, InstrSite, ThreadCtx};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Module with two kernels: `square` (out[i] = i*i) and `wild`
+    /// (out-of-bounds store).
+    fn test_module_bytes() -> Vec<u8> {
+        let mut sq = KernelBuilder::new("square");
+        let (out, tid, off) = (Reg(4), Reg(0), Reg(1));
+        sq.ldc(out, 0);
+        sq.s2r(tid, SpecialReg::GlobalTidX);
+        sq.imad(Reg(2), tid, tid, Reg::RZ);
+        sq.shli(off, tid, 2);
+        sq.iadd(out, out, off);
+        sq.stg(out, 0, Reg(2));
+        sq.exit();
+
+        let mut wild = KernelBuilder::new("wild");
+        wild.movi(Reg(4), 0xDEAD_0000);
+        wild.stg(Reg(4), 0, Reg(0));
+        wild.exit();
+
+        let mut spin = KernelBuilder::new("spin");
+        let top = spin.new_label();
+        spin.bind(top);
+        spin.bra(top);
+        spin.exit();
+
+        encode::encode_module(&Module::new(
+            "testmod",
+            vec![sq.finish(), wild.finish(), spin.finish()],
+        ))
+    }
+
+    fn small_cfg() -> RuntimeConfig {
+        RuntimeConfig { mem_bytes: 1 << 20, instr_budget: Some(100_000), ..Default::default() }
+    }
+
+    #[test]
+    fn load_launch_and_read_back() {
+        let mut rt = Runtime::new(small_cfg());
+        let m = rt.load_module(&test_module_bytes()).expect("load");
+        let k = rt.get_kernel(m, "square").expect("kernel");
+        let out = rt.alloc(64 * 4).expect("alloc");
+        rt.launch(k, 2u32, 32u32, &[out.addr()]).expect("launch");
+        rt.synchronize().expect("sync");
+        let v = rt.read_u32s(out, 64).expect("read");
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, (i * i) as u32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn module_load_rejects_garbage() {
+        let mut rt = Runtime::new(small_cfg());
+        assert!(matches!(rt.load_module(b"nonsense"), Err(RuntimeError::ModuleLoad(_))));
+    }
+
+    #[test]
+    fn kernel_lookup_errors() {
+        let mut rt = Runtime::new(small_cfg());
+        let m = rt.load_module(&test_module_bytes()).expect("load");
+        assert!(matches!(
+            rt.get_kernel(m, "missing"),
+            Err(RuntimeError::KernelNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn sticky_error_skips_later_launches_until_checked() {
+        let mut rt = Runtime::new(small_cfg());
+        let m = rt.load_module(&test_module_bytes()).expect("load");
+        let wild = rt.get_kernel(m, "wild").expect("kernel");
+        let square = rt.get_kernel(m, "square").expect("kernel");
+        let out = rt.alloc(64 * 4).expect("alloc");
+
+        // The faulting launch itself returns Ok — the error is latched.
+        rt.launch(wild, 1u32, 1u32, &[]).expect("launch returns ok");
+        assert!(rt.synchronize().is_err());
+        assert_eq!(rt.anomalies().len(), 1);
+
+        // Subsequent launches are skipped while the error is latched.
+        rt.launch(square, 2u32, 32u32, &[out.addr()]).expect("skipped ok");
+        assert!(rt.records().last().expect("record").skipped);
+        assert_eq!(rt.read_u32s(out, 4).expect("read"), vec![0, 0, 0, 0]);
+
+        // cudaGetLastError-style check clears it.
+        let fault = rt.last_error().expect("fault");
+        assert!(fault.info.kernel.contains("wild"));
+        assert!(rt.last_error().is_none(), "peek-and-clear");
+        rt.synchronize().expect("clean after clear");
+
+        // And the context works again.
+        rt.launch(square, 2u32, 32u32, &[out.addr()]).expect("launch");
+        assert_eq!(rt.read_u32s(out, 2).expect("read"), vec![0, 1]);
+    }
+
+    #[test]
+    fn hang_is_fatal() {
+        let mut rt = Runtime::new(small_cfg());
+        let m = rt.load_module(&test_module_bytes()).expect("load");
+        let spin = rt.get_kernel(m, "spin").expect("kernel");
+        let err = rt.launch(spin, 1u32, 32u32, &[]).unwrap_err();
+        assert!(matches!(err, RuntimeError::Hang(_)));
+        assert!(rt.hang().is_some());
+    }
+
+    #[test]
+    fn dynamic_instance_counting_is_per_name() {
+        let mut rt = Runtime::new(small_cfg());
+        let m = rt.load_module(&test_module_bytes()).expect("load");
+        let k = rt.get_kernel(m, "square").expect("kernel");
+        let out = rt.alloc(256).expect("alloc");
+        for _ in 0..3 {
+            rt.launch(k, 1u32, 32u32, &[out.addr()]).expect("launch");
+        }
+        let instances: Vec<u64> = rt.records().iter().map(|r| r.instance).collect();
+        assert_eq!(instances, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stdout_and_files_are_captured() {
+        struct Hello;
+        impl Program for Hello {
+            fn name(&self) -> &str {
+                "hello"
+            }
+            fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+                rt.println("hello world");
+                rt.write_file("out.dat", vec![1, 2, 3]);
+                Ok(())
+            }
+        }
+        let out = run_program(&Hello, small_cfg(), None);
+        assert_eq!(out.stdout, "hello world\n");
+        assert_eq!(out.files["out.dat"], vec![1, 2, 3]);
+        assert!(out.termination.is_clean());
+        assert!(!out.has_anomaly());
+    }
+
+    #[test]
+    fn failing_program_exits_nonzero() {
+        struct Bad;
+        impl Program for Bad {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+                let m = rt.load_module(&test_module_bytes())?;
+                let wild = rt.get_kernel(m, "wild")?;
+                rt.launch(wild, 1u32, 1u32, &[])?;
+                rt.synchronize()?; // the app checks → detected
+                Ok(())
+            }
+        }
+        let out = run_program(&Bad, small_cfg(), None);
+        assert_eq!(out.termination, Termination::Normal { exit_code: 1 });
+        assert!(out.has_anomaly());
+    }
+
+    #[test]
+    fn hanging_program_terminates_as_hang() {
+        struct Spin;
+        impl Program for Spin {
+            fn name(&self) -> &str {
+                "spin"
+            }
+            fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+                let m = rt.load_module(&test_module_bytes())?;
+                let spin = rt.get_kernel(m, "spin")?;
+                rt.launch(spin, 1u32, 32u32, &[])?;
+                Ok(())
+            }
+        }
+        let out = run_program(&Spin, small_cfg(), None);
+        assert_eq!(out.termination, Termination::Hang);
+    }
+
+    /// A tool that counts module loads, instruments every instruction of
+    /// every kernel, and tallies device callbacks.
+    struct CountingTool {
+        loads: u64,
+        device_calls: Arc<AtomicU64>,
+        launches_seen: u64,
+        exit_seen: bool,
+    }
+
+    impl ExecHook for CountingTool {
+        fn after(&mut self, _t: &mut ThreadCtx<'_>, _s: InstrSite<'_>) {
+            self.device_calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    impl Tool for CountingTool {
+        fn on_module_load(&mut self, _m: &Module) {
+            self.loads += 1;
+        }
+        fn instrument(&mut self, info: &KernelLaunchInfo<'_>) -> Option<InstrMasks> {
+            Some(InstrMasks::all_after(info.kernel.len()))
+        }
+        fn after_launch(&mut self, _r: &LaunchRecord) {
+            self.launches_seen += 1;
+        }
+        fn on_exit(&mut self, _s: &RunSummary) {
+            self.exit_seen = true;
+        }
+    }
+
+    #[test]
+    fn tool_sees_all_events_and_every_dynamic_instruction() {
+        struct App;
+        impl Program for App {
+            fn name(&self) -> &str {
+                "app"
+            }
+            fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+                let m = rt.load_module(&test_module_bytes())?;
+                let k = rt.get_kernel(m, "square")?;
+                let out = rt.alloc(64 * 4)?;
+                rt.launch(k, 2u32, 32u32, &[out.addr()])?;
+                rt.synchronize()?;
+                Ok(())
+            }
+        }
+        let calls = Arc::new(AtomicU64::new(0));
+        let tool = CountingTool {
+            loads: 0,
+            device_calls: Arc::clone(&calls),
+            launches_seen: 0,
+            exit_seen: false,
+        };
+        let out = run_program(&App, small_cfg(), Some(Box::new(tool)));
+        assert!(out.termination.is_clean());
+        // 7 instructions × 64 threads.
+        assert_eq!(calls.load(Ordering::Relaxed), 7 * 64);
+        assert_eq!(out.summary.dyn_instrs, 7 * 64);
+        // The program's own behaviour is unchanged by the tool.
+        assert_eq!(out.summary.launches.len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! The program abstraction: a host application driving the runtime.
+
+use crate::error::RuntimeError;
+use crate::runtime::{Runtime, RuntimeConfig};
+use crate::tool::{RunSummary, Tool};
+use gpu_sim::TrapInfo;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a program run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Termination {
+    /// The process exited with a status code (0 = success).
+    Normal {
+        /// The exit status.
+        exit_code: i32,
+    },
+    /// The external monitor killed the process after a detected hang.
+    Hang,
+    /// The process aborted (OS-detected crash), e.g. an abort-on-error host
+    /// observing a device fault.
+    Crash,
+}
+
+impl Termination {
+    /// `true` for a clean, zero-status exit.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, Termination::Normal { exit_code: 0 })
+    }
+}
+
+/// Everything observable about one program run — the inputs to outcome
+/// classification (paper Table V): standard output, output files, exit
+/// status, device anomalies, and execution statistics.
+#[derive(Debug, Clone)]
+pub struct ProgramOutput {
+    /// Captured standard output.
+    pub stdout: String,
+    /// Output files, keyed by name.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// How the process ended.
+    pub termination: Termination,
+    /// Device anomalies (trap log), whether or not the host checked them.
+    pub anomalies: Vec<TrapInfo>,
+    /// Launch-level statistics.
+    pub summary: RunSummary,
+}
+
+impl ProgramOutput {
+    /// `true` if any device anomaly was recorded — the "CUDA error /
+    /// dmesg" signal behind potential-DUE classification.
+    pub fn has_anomaly(&self) -> bool {
+        !self.anomalies.is_empty()
+    }
+}
+
+/// A GPU application: host logic that loads module binaries, manages device
+/// memory, launches kernels, and emits output.
+///
+/// Implementations correspond to the paper's SpecACCEL benchmark programs;
+/// the fault-injection campaign treats them as opaque (it never sees kernel
+/// "source", only the module binaries the program loads).
+pub trait Program: Sync {
+    /// The program's name (e.g. `"303.ostencil"`).
+    fn name(&self) -> &str;
+
+    /// Run the host application to completion against `rt`.
+    ///
+    /// # Errors
+    ///
+    /// Any error returned here is the program exiting with non-zero status —
+    /// an *application-detected* DUE in the paper's taxonomy.
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError>;
+}
+
+/// Run a program to termination, optionally with an attached tool, and
+/// collect its observable output.
+///
+/// This is the campaign's unit of execution: one process launch, one
+/// [`ProgramOutput`].
+pub fn run_program(
+    program: &dyn Program,
+    cfg: RuntimeConfig,
+    tool: Option<Box<dyn Tool>>,
+) -> ProgramOutput {
+    let mut rt = Runtime::new(cfg);
+    if let Some(t) = tool {
+        rt.attach_tool(t);
+    }
+    let result = program.run(&mut rt);
+    let summary = rt.finish();
+    let termination = match &result {
+        Ok(()) => Termination::Normal { exit_code: 0 },
+        Err(RuntimeError::Hang(_)) => Termination::Hang,
+        Err(RuntimeError::DeviceAbort(_)) => Termination::Crash,
+        Err(e) => {
+            rt.println(format!("error: {e}"));
+            Termination::Normal { exit_code: 1 }
+        }
+    };
+    let (stdout, files, anomalies) = rt.into_output();
+    ProgramOutput { stdout, files, termination, anomalies, summary }
+}

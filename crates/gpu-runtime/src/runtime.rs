@@ -1,0 +1,408 @@
+//! The runtime: module loading, launches, memory, and sticky errors.
+
+use crate::error::{KernelFault, RuntimeError};
+use crate::tool::{InstrMasks, KernelLaunchInfo, LaunchRecord, RunSummary, Tool};
+use gpu_isa::{encode, Module};
+use gpu_sim::{
+    Dim3, DevPtr, GlobalMem, Gpu, GpuConfig, Instrumentation, Launch, SimError, TrapInfo,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Simulated device configuration.
+    pub gpu: GpuConfig,
+    /// Device global-memory capacity in bytes.
+    pub mem_bytes: u32,
+    /// Per-launch dynamic-instruction budget (the hang monitor threshold).
+    /// `None` uses the device default.
+    pub instr_budget: Option<u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { gpu: GpuConfig::default(), mem_bytes: 64 << 20, instr_budget: None }
+    }
+}
+
+/// Handle to a loaded module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleId(usize);
+
+/// Handle to a kernel within a loaded module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelHandle {
+    module: usize,
+    kernel: usize,
+}
+
+/// The process-level runtime a GPU program runs against.
+///
+/// Mirrors the CUDA runtime surface the paper's usage model depends on:
+/// binary module loading (no source), synchronous kernel launches with
+/// per-name dynamic-instance counting, `cudaGetLastError`-style sticky
+/// errors, and a tool attach point ([`Runtime::attach_tool`]) that is
+/// invisible to the program.
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    gpu: Gpu,
+    mem: GlobalMem,
+    modules: Vec<Arc<Module>>,
+    tool: Option<Box<dyn Tool>>,
+    sticky: Option<KernelFault>,
+    anomalies: Vec<TrapInfo>,
+    launch_counts: HashMap<String, u64>,
+    records: Vec<LaunchRecord>,
+    stdout: String,
+    files: BTreeMap<String, Vec<u8>>,
+    hang: Option<TrapInfo>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("modules", &self.modules.len())
+            .field("launches", &self.records.len())
+            .field("tool_attached", &self.tool.is_some())
+            .field("sticky", &self.sticky)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Create a runtime with the given configuration.
+    pub fn new(cfg: RuntimeConfig) -> Runtime {
+        Runtime {
+            gpu: Gpu::new(cfg.gpu),
+            mem: GlobalMem::new(cfg.mem_bytes),
+            cfg,
+            modules: Vec::new(),
+            tool: None,
+            sticky: None,
+            anomalies: Vec::new(),
+            launch_counts: HashMap::new(),
+            records: Vec::new(),
+            stdout: String::new(),
+            files: BTreeMap::new(),
+            hang: None,
+        }
+    }
+
+    /// Attach a tool (the `LD_PRELOAD=tool.so` analog). At most one tool can
+    /// be attached; attaching replaces any previous tool.
+    pub fn attach_tool(&mut self, tool: Box<dyn Tool>) {
+        self.tool = Some(tool);
+    }
+
+    /// `true` if a tool is attached.
+    pub fn tool_attached(&self) -> bool {
+        self.tool.is_some()
+    }
+
+    // --- modules -----------------------------------------------------------
+
+    /// Load a module from its binary encoding (the `cubin` analog).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ModuleLoad`] if the binary does not decode.
+    pub fn load_module(&mut self, bytes: &[u8]) -> Result<ModuleId, RuntimeError> {
+        let module = Arc::new(encode::decode_module(bytes)?);
+        if let Some(tool) = self.tool.as_deref_mut() {
+            tool.on_module_load(&module);
+        }
+        self.modules.push(module);
+        Ok(ModuleId(self.modules.len() - 1))
+    }
+
+    /// Look up a kernel by name in a loaded module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadHandle`] for a stale module id and
+    /// [`RuntimeError::KernelNotFound`] if the name is absent.
+    pub fn get_kernel(&self, module: ModuleId, name: &str) -> Result<KernelHandle, RuntimeError> {
+        let m = self.modules.get(module.0).ok_or(RuntimeError::BadHandle)?;
+        let kernel = m
+            .kernels()
+            .iter()
+            .position(|k| k.name() == name)
+            .ok_or_else(|| RuntimeError::KernelNotFound { name: name.to_string() })?;
+        Ok(KernelHandle { module: module.0, kernel })
+    }
+
+    // --- memory ---------------------------------------------------------------
+
+    /// Allocate device memory (`cudaMalloc`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Mem`] when device memory is exhausted.
+    pub fn alloc(&mut self, bytes: u32) -> Result<DevPtr, RuntimeError> {
+        Ok(self.mem.alloc(bytes)?)
+    }
+
+    /// Host→device copy of `f32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Mem`] for copies touching unallocated memory.
+    pub fn write_f32s(&mut self, dst: DevPtr, v: &[f32]) -> Result<(), RuntimeError> {
+        Ok(self.mem.write_f32s(dst, v)?)
+    }
+
+    /// Device→host copy of `f32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Mem`] for copies touching unallocated memory.
+    pub fn read_f32s(&self, src: DevPtr, count: usize) -> Result<Vec<f32>, RuntimeError> {
+        Ok(self.mem.read_f32s(src, count)?)
+    }
+
+    /// Host→device copy of `f64`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Mem`] for copies touching unallocated memory.
+    pub fn write_f64s(&mut self, dst: DevPtr, v: &[f64]) -> Result<(), RuntimeError> {
+        Ok(self.mem.write_f64s(dst, v)?)
+    }
+
+    /// Device→host copy of `f64`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Mem`] for copies touching unallocated memory.
+    pub fn read_f64s(&self, src: DevPtr, count: usize) -> Result<Vec<f64>, RuntimeError> {
+        Ok(self.mem.read_f64s(src, count)?)
+    }
+
+    /// Host→device copy of `u32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Mem`] for copies touching unallocated memory.
+    pub fn write_u32s(&mut self, dst: DevPtr, v: &[u32]) -> Result<(), RuntimeError> {
+        Ok(self.mem.write_u32s(dst, v)?)
+    }
+
+    /// Device→host copy of `u32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Mem`] for copies touching unallocated memory.
+    pub fn read_u32s(&self, src: DevPtr, count: usize) -> Result<Vec<u32>, RuntimeError> {
+        Ok(self.mem.read_u32s(src, count)?)
+    }
+
+    // --- launches ----------------------------------------------------------------
+
+    /// Launch a kernel and run it to completion (synchronous).
+    ///
+    /// If an earlier kernel corrupted the context (sticky error), the launch
+    /// is *skipped* and `Ok(())` is returned — just as an unchecked CUDA
+    /// launch silently fails; the error is observable via
+    /// [`Runtime::last_error`] or [`Runtime::synchronize`].
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::BadHandle`] for stale handles,
+    /// * [`RuntimeError::LaunchConfig`] for invalid geometry,
+    /// * [`RuntimeError::Hang`] when the hang monitor killed the kernel —
+    ///   this one is always fatal to the run.
+    pub fn launch(
+        &mut self,
+        kernel: KernelHandle,
+        grid: impl Into<Dim3>,
+        block: impl Into<Dim3>,
+        params: &[u32],
+    ) -> Result<(), RuntimeError> {
+        let grid = grid.into();
+        let block = block.into();
+        let module =
+            Arc::clone(self.modules.get(kernel.module).ok_or(RuntimeError::BadHandle)?);
+        let k = module.kernels().get(kernel.kernel).ok_or(RuntimeError::BadHandle)?;
+
+        let instance = {
+            let c = self.launch_counts.entry(k.name().to_string()).or_insert(0);
+            let i = *c;
+            *c += 1;
+            i
+        };
+
+        if self.sticky.is_some() {
+            // Context corrupted: the launch is dropped on the floor.
+            let record = LaunchRecord {
+                kernel: k.name().to_string(),
+                instance,
+                stats: Default::default(),
+                trap: None,
+                skipped: true,
+            };
+            if let Some(tool) = self.tool.as_deref_mut() {
+                tool.after_launch(&record);
+            }
+            self.records.push(record);
+            return Ok(());
+        }
+
+        let info = KernelLaunchInfo { kernel: k, instance, grid, block };
+        let masks: Option<InstrMasks> =
+            self.tool.as_deref_mut().and_then(|t| t.instrument(&info));
+
+        let launch = Launch {
+            kernel: k,
+            grid,
+            block,
+            params,
+            instr_budget: self.cfg.instr_budget,
+        };
+        let result = match (&mut self.tool, masks) {
+            (Some(tool), Some(m)) => {
+                let mut ins = Instrumentation {
+                    before_mask: &m.before,
+                    after_mask: &m.after,
+                    hook: tool.as_mut(),
+                    kernel_instance: instance,
+                };
+                self.gpu.launch(&launch, &mut self.mem, Some(&mut ins))
+            }
+            _ => self.gpu.launch(&launch, &mut self.mem, None),
+        };
+
+        let (stats, trap, fatal) = match result {
+            Ok(stats) => (stats, None, None),
+            Err(SimError::Trap { info, stats }) => {
+                let kind = info.kind;
+                self.anomalies.push(info.clone());
+                if kind.is_hang() {
+                    self.hang = Some(info.clone());
+                    (stats, Some(kind), Some(RuntimeError::Hang(info)))
+                } else {
+                    self.sticky = Some(KernelFault { info });
+                    (stats, Some(kind), None)
+                }
+            }
+            Err(other) => return Err(RuntimeError::LaunchConfig(other.to_string())),
+        };
+
+        let record = LaunchRecord {
+            kernel: k.name().to_string(),
+            instance,
+            stats,
+            trap,
+            skipped: false,
+        };
+        if let Some(tool) = self.tool.as_deref_mut() {
+            tool.after_launch(&record);
+        }
+        self.records.push(record);
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // --- error observation -------------------------------------------------------
+
+    /// Peek-and-clear the latched device error (`cudaGetLastError`).
+    pub fn last_error(&mut self) -> Option<KernelFault> {
+        self.sticky.take()
+    }
+
+    /// Check device health without clearing (`cudaDeviceSynchronize`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Sticky`] if a kernel fault is latched.
+    pub fn synchronize(&self) -> Result<(), RuntimeError> {
+        match &self.sticky {
+            Some(fault) => Err(RuntimeError::Sticky(fault.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Like [`Runtime::synchronize`], but for hosts built in the
+    /// abort-on-error style (`assert(cudaSuccess)` / `CHECK()` macros that
+    /// call `abort()`): a latched fault takes the *process* down, which the
+    /// outcome taxonomy records as a crash (OS detection) rather than a
+    /// graceful non-zero exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::DeviceAbort`] if a kernel fault is latched.
+    pub fn synchronize_or_abort(&self) -> Result<(), RuntimeError> {
+        match &self.sticky {
+            Some(fault) => Err(RuntimeError::DeviceAbort(fault.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// All device anomalies observed this run, checked by the host or not —
+    /// the "CUDA error message / dmesg" record the potential-DUE
+    /// classification reads (Table V).
+    pub fn anomalies(&self) -> &[TrapInfo] {
+        &self.anomalies
+    }
+
+    /// The hang that aborted the run, if any.
+    pub fn hang(&self) -> Option<&TrapInfo> {
+        self.hang.as_ref()
+    }
+
+    // --- program-visible output -----------------------------------------------------
+
+    /// Append a line to the program's standard output.
+    pub fn println(&mut self, line: impl AsRef<str>) {
+        self.stdout.push_str(line.as_ref());
+        self.stdout.push('\n');
+    }
+
+    /// The standard output so far.
+    pub fn stdout(&self) -> &str {
+        &self.stdout
+    }
+
+    /// Write (or overwrite) a named output file.
+    pub fn write_file(&mut self, name: impl Into<String>, bytes: Vec<u8>) {
+        self.files.insert(name.into(), bytes);
+    }
+
+    /// The output files written so far.
+    pub fn files(&self) -> &BTreeMap<String, Vec<u8>> {
+        &self.files
+    }
+
+    // --- teardown ------------------------------------------------------------------
+
+    /// Per-launch records so far.
+    pub fn records(&self) -> &[LaunchRecord] {
+        &self.records
+    }
+
+    /// Summarize the run (also what the tool receives at exit).
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            launches: self.records.clone(),
+            dyn_instrs: self.records.iter().map(|r| r.stats.dyn_instrs).sum(),
+            cycles: self.records.iter().map(|r| r.stats.cycles).sum(),
+        }
+    }
+
+    /// Signal process exit to the attached tool and detach it.
+    pub fn finish(&mut self) -> RunSummary {
+        let summary = self.summary();
+        if let Some(mut tool) = self.tool.take() {
+            tool.on_exit(&summary);
+        }
+        summary
+    }
+
+    /// Consume the runtime, yielding `(stdout, files, anomalies)`.
+    pub fn into_output(self) -> (String, BTreeMap<String, Vec<u8>>, Vec<TrapInfo>) {
+        (self.stdout, self.files, self.anomalies)
+    }
+}

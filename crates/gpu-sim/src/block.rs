@@ -1,0 +1,349 @@
+//! Block execution: warps, divergence, barriers, and cross-lane ops.
+//!
+//! Scheduling is deterministic by construction: blocks run in linear order,
+//! warps within a block are stepped round-robin one instruction-group at a
+//! time, and within a warp the group at the minimum program counter issues
+//! (a simple model of Volta-style independent thread scheduling). Determinism
+//! matters here more than on real hardware: it makes the profiler's
+//! dynamic-instruction numbering exactly reproducible, so a fault site
+//! `<kernel, instance, instruction index>` always lands on the same
+//! architectural event.
+
+use crate::cycles::{latency, HOOK_CYCLES};
+use crate::exec::{exec_scalar, ExecEnv, Flow};
+use crate::grid::Dim3;
+use crate::hooks::{Instrumentation, InstrSite, ThreadCtx, ThreadMeta};
+use crate::memory::{GlobalMem, SharedMem};
+use crate::regfile::RegFile;
+use crate::trap::{TrapInfo, TrapKind};
+use gpu_isa::{ExecFamily, Kernel, Modifier, Operand, ShflMode, WARP_SIZE};
+
+pub(crate) struct ThreadState {
+    pub regs: RegFile,
+    pub pc: u32,
+    pub exited: bool,
+    pub at_barrier: bool,
+    pub ret_stack: Vec<u32>,
+    pub local: Vec<u8>,
+    pub meta: ThreadMeta,
+}
+
+/// Running totals for one kernel launch.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Counters {
+    /// Guard-passing thread-level dynamic instructions executed so far.
+    pub executed: u64,
+    /// Simulated cycles consumed so far.
+    pub cycles: u64,
+    /// Launch budget: exceeding it raises [`TrapKind::Timeout`].
+    pub budget: u64,
+}
+
+pub(crate) struct BlockState {
+    pub threads: Vec<ThreadState>,
+    pub shared: SharedMem,
+    pub nwarps: usize,
+    pub flat_ctaid: u32,
+}
+
+enum StepOutcome {
+    Ran,
+    Idle,
+}
+
+impl BlockState {
+    pub fn new(
+        kernel: &Kernel,
+        grid: Dim3,
+        block: Dim3,
+        flat_ctaid: u32,
+        sm: u32,
+        local_bytes: u32,
+    ) -> BlockState {
+        let nthreads = block.count() as usize;
+        let nwarps = nthreads.div_ceil(WARP_SIZE);
+        let ctaid = grid.unflatten(flat_ctaid);
+        let threads = (0..nthreads as u32)
+            .map(|flat_tid| ThreadState {
+                regs: RegFile::new(),
+                pc: 0,
+                exited: false,
+                at_barrier: false,
+                ret_stack: Vec::new(),
+                local: vec![0; local_bytes as usize],
+                meta: ThreadMeta {
+                    tid: block.unflatten(flat_tid),
+                    ctaid,
+                    ntid: block,
+                    nctaid: grid,
+                    flat_tid,
+                    flat_ctaid,
+                    lane: flat_tid % WARP_SIZE as u32,
+                    warp: flat_tid / WARP_SIZE as u32,
+                    sm,
+                },
+            })
+            .collect();
+        BlockState { threads, shared: SharedMem::new(kernel.shared_bytes()), nwarps, flat_ctaid }
+    }
+
+    fn trap(&self, kernel: &Kernel, kind: TrapKind, pc: u32, thread: u32) -> TrapInfo {
+        TrapInfo {
+            kind,
+            kernel: kernel.name().to_string(),
+            pc: Some(pc),
+            block: Some(self.flat_ctaid),
+            thread: Some(thread),
+        }
+    }
+
+    /// Run the block to completion.
+    pub fn run(
+        &mut self,
+        kernel: &Kernel,
+        global: &mut GlobalMem,
+        cmem: &[u8],
+        counters: &mut Counters,
+        instrumentation: &mut Option<&mut Instrumentation<'_>>,
+    ) -> Result<(), TrapInfo> {
+        loop {
+            let mut progressed = false;
+            for w in 0..self.nwarps {
+                match self.step_warp(w, kernel, global, cmem, counters, instrumentation)? {
+                    StepOutcome::Ran => progressed = true,
+                    StepOutcome::Idle => {}
+                }
+            }
+            if self.threads.iter().all(|t| t.exited) {
+                return Ok(());
+            }
+            if !progressed {
+                if self.threads.iter().all(|t| t.exited || t.at_barrier) {
+                    // Barrier release: every live thread arrived.
+                    for t in &mut self.threads {
+                        t.at_barrier = false;
+                    }
+                } else {
+                    return Err(TrapInfo {
+                        kind: TrapKind::BarrierDeadlock,
+                        kernel: kernel.name().to_string(),
+                        pc: None,
+                        block: Some(self.flat_ctaid),
+                        thread: None,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Issue one instruction group for warp `w`.
+    fn step_warp(
+        &mut self,
+        w: usize,
+        kernel: &Kernel,
+        global: &mut GlobalMem,
+        cmem: &[u8],
+        counters: &mut Counters,
+        instrumentation: &mut Option<&mut Instrumentation<'_>>,
+    ) -> Result<StepOutcome, TrapInfo> {
+        let lo = w * WARP_SIZE;
+        let hi = ((w + 1) * WARP_SIZE).min(self.threads.len());
+        let runnable: Vec<usize> = (lo..hi)
+            .filter(|&t| !self.threads[t].exited && !self.threads[t].at_barrier)
+            .collect();
+        if runnable.is_empty() {
+            return Ok(StepOutcome::Idle);
+        }
+        let pc = runnable.iter().map(|&t| self.threads[t].pc).min().expect("nonempty");
+        if pc as usize >= kernel.len() {
+            let t = runnable[0] as u32;
+            return Err(self.trap(kernel, TrapKind::PcOverrun, pc, t));
+        }
+        let instr = &kernel.instrs()[pc as usize];
+        counters.cycles += latency(instr.op.family());
+
+        // Guard evaluation: failing threads skip the instruction silently
+        // (and are excluded from profiling, per paper §III-A).
+        let mut active: Vec<usize> = Vec::with_capacity(runnable.len());
+        for &ti in &runnable {
+            let t = &mut self.threads[ti];
+            if t.pc != pc {
+                continue;
+            }
+            if instr.guard.is_always() || instr.guard.passes(t.regs.read_p(instr.guard.pred)) {
+                active.push(ti);
+            } else {
+                t.pc += 1;
+            }
+        }
+        if active.is_empty() {
+            return Ok(StepOutcome::Ran);
+        }
+
+        let fam = instr.op.family();
+        let cross_lane = matches!(fam, ExecFamily::Shfl | ExecFamily::Vote | ExecFamily::FSwzAdd);
+        // Cross-lane ops read other lanes' state as of instruction issue:
+        // snapshot the source before any writes.
+        let snapshot: Option<Vec<(u32, u32, bool)>> = if cross_lane {
+            Some(
+                active
+                    .iter()
+                    .map(|&ti| {
+                        let t = &self.threads[ti];
+                        let src = match instr.srcs[0] {
+                            Operand::R(r) => t.regs.read(r),
+                            Operand::Imm(v) => v,
+                            _ => 0,
+                        };
+                        let pred = match instr.srcs[0] {
+                            Operand::P(p) => t.regs.read_p(p),
+                            Operand::NotP(p) => !t.regs.read_p(p),
+                            _ => t.regs.read(gpu_isa::Reg(0)) != 0,
+                        };
+                        (t.meta.lane, src, pred)
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        for &ti in &active {
+            if counters.executed >= counters.budget {
+                return Err(self.trap(kernel, TrapKind::Timeout, pc, ti as u32));
+            }
+            let dyn_index = counters.executed;
+            counters.executed += 1;
+
+            let BlockState { threads, shared, .. } = self;
+            let t = &mut threads[ti];
+
+            if let Some(ins) = instrumentation.as_deref_mut() {
+                if ins.before_mask.get(pc as usize).copied().unwrap_or(false) {
+                    counters.cycles += HOOK_CYCLES;
+                    let mut ctx = ThreadCtx { regs: &mut t.regs, meta: t.meta, dyn_index };
+                    ins.hook.before(
+                        &mut ctx,
+                        InstrSite { pc, instr, kernel_instance: ins.kernel_instance },
+                    );
+                }
+            }
+
+            let flow = if cross_lane {
+                let snap = snapshot.as_ref().expect("snapshot for cross-lane");
+                exec_cross_lane(instr, t, snap)
+            } else {
+                let mut env = ExecEnv {
+                    regs: &mut t.regs,
+                    global,
+                    shared,
+                    local: &mut t.local,
+                    cmem,
+                    ret_stack: &mut t.ret_stack,
+                    meta: &t.meta,
+                    clock: counters.cycles,
+                    pc,
+                    kernel_len: kernel.len() as u32,
+                };
+                exec_scalar(instr, &mut env)
+            };
+
+            let flow = match flow {
+                Ok(f) => f,
+                Err(kind) => return Err(self.trap(kernel, kind, pc, ti as u32)),
+            };
+
+            let BlockState { threads, .. } = self;
+            let t = &mut threads[ti];
+            match flow {
+                Flow::Next => t.pc = pc + 1,
+                Flow::Branch(target) => t.pc = target,
+                Flow::Exit => t.exited = true,
+                Flow::Barrier => {
+                    t.at_barrier = true;
+                    t.pc = pc + 1;
+                }
+            }
+
+            if let Some(ins) = instrumentation.as_deref_mut() {
+                if ins.after_mask.get(pc as usize).copied().unwrap_or(false) {
+                    counters.cycles += HOOK_CYCLES;
+                    let BlockState { threads, .. } = self;
+                    let t = &mut threads[ti];
+                    let mut ctx = ThreadCtx { regs: &mut t.regs, meta: t.meta, dyn_index };
+                    ins.hook.after(
+                        &mut ctx,
+                        InstrSite { pc, instr, kernel_instance: ins.kernel_instance },
+                    );
+                }
+            }
+        }
+        Ok(StepOutcome::Ran)
+    }
+}
+
+/// Execute a cross-lane instruction for one thread, given the warp snapshot
+/// `(lane, src_value, src_pred)` of all active lanes.
+fn exec_cross_lane(
+    instr: &gpu_isa::Instr,
+    t: &mut ThreadState,
+    snap: &[(u32, u32, bool)],
+) -> Result<Flow, TrapKind> {
+    let my_lane = t.meta.lane;
+    let lookup = |lane: u32| snap.iter().find(|(l, _, _)| *l == lane);
+    match instr.op.family() {
+        ExecFamily::Shfl => {
+            let mode = match instr.modifier {
+                Modifier::Shfl(m) => m,
+                _ => ShflMode::Idx,
+            };
+            let operand = match instr.srcs[1] {
+                Operand::Imm(v) => v,
+                Operand::R(r) => t.regs.read(r),
+                _ => 0,
+            };
+            let src_lane = match mode {
+                ShflMode::Idx => operand,
+                ShflMode::Up => my_lane.wrapping_sub(operand),
+                ShflMode::Down => my_lane + operand,
+                ShflMode::Bfly => my_lane ^ operand,
+            };
+            let my_val = lookup(my_lane).map(|(_, v, _)| *v).unwrap_or(0);
+            // Inactive or out-of-range source lane: keep own value
+            // (CUDA leaves the destination undefined; "own value" is the
+            // common hardware behaviour and is deterministic).
+            let v = if src_lane < WARP_SIZE as u32 {
+                lookup(src_lane).map(|(_, v, _)| *v).unwrap_or(my_val)
+            } else {
+                my_val
+            };
+            if let gpu_isa::Dst::R(r) = instr.dsts[0] {
+                t.regs.write(r, v);
+            }
+        }
+        ExecFamily::Vote => {
+            // VOTE = BALLOT: bit per active lane whose source predicate holds.
+            let mut mask = 0u32;
+            for &(lane, _, pred) in snap {
+                if pred {
+                    mask |= 1 << lane;
+                }
+            }
+            if let gpu_isa::Dst::R(r) = instr.dsts[0] {
+                t.regs.write(r, mask);
+            }
+        }
+        ExecFamily::FSwzAdd => {
+            // Butterfly-partner add: value + partner lane's value.
+            let partner = my_lane ^ 1;
+            let my_val = lookup(my_lane).map(|(_, v, _)| *v).unwrap_or(0);
+            let pv = lookup(partner).map(|(_, v, _)| *v).unwrap_or(my_val);
+            let sum = f32::from_bits(my_val) + f32::from_bits(pv);
+            if let gpu_isa::Dst::R(r) = instr.dsts[0] {
+                t.regs.write(r, sum.to_bits());
+            }
+        }
+        _ => return Err(TrapKind::IllegalInstruction),
+    }
+    Ok(Flow::Next)
+}

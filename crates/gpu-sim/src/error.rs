@@ -1,0 +1,77 @@
+//! Launch-configuration errors.
+
+use crate::trap::TrapInfo;
+use std::fmt;
+
+/// Why a launch could not start or did not finish.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Block dimensions exceed the 1024-thread limit.
+    BlockTooLarge {
+        /// Threads requested per block.
+        threads: u64,
+    },
+    /// Grid or block has zero extent.
+    EmptyLaunch,
+    /// The kernel has no instructions.
+    EmptyKernel,
+    /// Kernel parameters exceed constant-memory capacity.
+    ParamsTooLarge {
+        /// Bytes of parameters supplied.
+        bytes: usize,
+    },
+    /// Instrumentation masks do not match the kernel's instruction count.
+    BadInstrumentationMask {
+        /// Mask length supplied.
+        mask_len: usize,
+        /// Kernel instruction count.
+        kernel_len: usize,
+    },
+    /// The kernel trapped. Partial execution statistics are attached.
+    Trap {
+        /// What trapped, where.
+        info: TrapInfo,
+        /// Statistics accumulated up to the trap.
+        stats: crate::gpu::LaunchStats,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BlockTooLarge { threads } => {
+                write!(f, "block of {threads} threads exceeds the 1024-thread limit")
+            }
+            SimError::EmptyLaunch => write!(f, "grid and block extents must be nonzero"),
+            SimError::EmptyKernel => write!(f, "kernel has no instructions"),
+            SimError::ParamsTooLarge { bytes } => {
+                write!(f, "{bytes} bytes of kernel parameters exceed constant memory")
+            }
+            SimError::BadInstrumentationMask { mask_len, kernel_len } => {
+                write!(f, "instrumentation mask of {mask_len} entries does not match kernel of {kernel_len} instructions")
+            }
+            SimError::Trap { info, .. } => write!(f, "kernel trapped: {info}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SimError::BlockTooLarge { threads: 2048 },
+            SimError::EmptyLaunch,
+            SimError::EmptyKernel,
+            SimError::ParamsTooLarge { bytes: 1 << 20 },
+            SimError::BadInstrumentationMask { mask_len: 3, kernel_len: 5 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! `370.bt` — block tri-diagonal solver for 3-D PDEs.
+//!
+//! Table IV shape: 50 static kernels, 10,069 dynamic kernels. NAS-BT
+//! structure: tri-diagonal line sweeps in three logical dimensions, an
+//! RHS stencil, and a large bank of generated block-update kernels.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// Generated block-update kernels (45 + 5 structural = 50 static).
+const BLOCKS: usize = 45;
+
+/// The `370.bt` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bt {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Bt {
+    /// ((rows, rowlen), outer steps).
+    fn dims(&self) -> ((u32, u32), u32) {
+        self.scale.pick(((4, 8), 1), ((8, 8), 9))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-3)
+    }
+}
+
+impl Program for Bt {
+    fn name(&self) -> &str {
+        "370.bt"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let ((rows, rowlen), steps) = self.dims();
+        let n = (rows * rowlen) as usize;
+        let mut kernels = vec![
+            kernels::line_sweep_f32("bt_x_solve"),
+            kernels::line_sweep_f32("bt_y_solve"),
+            kernels::line_sweep_f32("bt_z_solve"),
+            kernels::stencil5_f32("bt_compute_rhs"),
+            kernels::saxpy_f32("bt_add"),
+        ];
+        for i in 0..BLOCKS {
+            kernels.push(kernels::damped_update_variant(&format!("bt_block_k{i:02}"), 71 + i as u32));
+        }
+        let m = load_kernels(rt, "bt", kernels)?;
+        let solves = [
+            rt.get_kernel(m, "bt_x_solve")?,
+            rt.get_kernel(m, "bt_y_solve")?,
+            rt.get_kernel(m, "bt_z_solve")?,
+        ];
+        let rhs = rt.get_kernel(m, "bt_compute_rhs")?;
+        let add = rt.get_kernel(m, "bt_add")?;
+        let blocks_k: Vec<_> = (0..BLOCKS)
+            .map(|i| rt.get_kernel(m, &format!("bt_block_k{i:02}")))
+            .collect::<Result<_, _>>()?;
+
+        let u = rt.alloc((n * 4) as u32)?;
+        let rhs_buf = rt.alloc((n * 4) as u32)?;
+        let init: Vec<f32> = (0..n).map(|i| 0.5 + 0.015 * ((i % 19) as f32)).collect();
+        rt.write_f32s(u, &init)?;
+
+        let nblocks = (n as u32).div_ceil(32);
+        let row_blocks = rows.div_ceil(32);
+        let sweep_coeffs = [(0.3f32, 0.2f32), (0.25, 0.25), (0.2, 0.3)];
+        for s in 0..steps {
+            rt.launch(rhs, rows, rowlen, &[rhs_buf.addr(), u.addr(), 0.1f32.to_bits()])?;
+            for (dim, solve) in solves.iter().enumerate() {
+                let (a, b) = sweep_coeffs[dim];
+                rt.launch(*solve, row_blocks, 32u32, &[u.addr(), a.to_bits(), b.to_bits(), rowlen, rows])?;
+            }
+            // Five block-update kernels per step, rotating through the bank.
+            for j in 0..5usize {
+                let k = blocks_k[(s as usize * 5 + j) % BLOCKS];
+                rt.launch(k, nblocks, 32u32, &[u.addr(), n as u32])?;
+            }
+            rt.launch(add, nblocks, 32u32, &[u.addr(), rhs_buf.addr(), 0.05f32.to_bits(), n as u32])?;
+        }
+        // This host is built abort-on-error style (CHECK macros calling
+        // abort()): a device fault crashes the process — an OS-detected DUE.
+        rt.synchronize_or_abort()?;
+
+        let field = rt.read_f32s(u, n)?;
+        let norm: f64 = field.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt();
+        rt.println(format!("bt cells {n} steps {steps}"));
+        rt.println(format!("u_rms {}", fmt_f(norm)));
+        rt.write_file("bt.out", f32_bytes(&field));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean() {
+        let out = run_program(&Bt { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(out.stdout.contains("u_rms"));
+    }
+
+    #[test]
+    fn static_kernel_count_is_50() {
+        let out = run_program(&Bt { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 50, "Table IV: 50 static kernels");
+    }
+}

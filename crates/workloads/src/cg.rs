@@ -1,0 +1,179 @@
+//! `354.cg` — conjugate gradient.
+//!
+//! Table IV shape: 22 static kernels, 2027 dynamic kernels. The interesting
+//! structural property reproduced here: the dot-product reduction runs as a
+//! *tree* — the same static kernel (`cg_reduce`) is launched repeatedly with
+//! shrinking grids, so different dynamic instances of one static kernel
+//! execute different instruction counts. Approximate profiling (which
+//! extrapolates from the first instance) misestimates exactly this pattern,
+//! which is what drives the exact-vs-approximate divergence in Figure 2.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// Generated auxiliary kernels to reach Table IV's 22 static kernels.
+const AUX: usize = 15;
+
+/// The `354.cg` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cg {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Cg {
+    /// (unknowns, row degree, iterations).
+    fn dims(&self) -> (u32, u32, u32) {
+        self.scale.pick((64, 3, 3), (128, 3, 22))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(5e-4)
+    }
+}
+
+impl Program for Cg {
+    fn name(&self) -> &str {
+        "354.cg"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let (n, deg, iters) = self.dims();
+        let mut kernels = vec![
+            kernels::spmv_gather("cg_spmv"),
+            kernels::saxpy_f32("cg_axpy_x"),
+            kernels::saxpy_f32("cg_axpy_r"),
+            kernels::triad_f32("cg_update_p"),
+            kernels::reduce_sum_f32("cg_reduce", 32),
+            kernels::copy_f32("cg_copy"),
+            kernels::mul_f32("cg_dot_mul"),
+        ];
+        for i in 0..AUX {
+            kernels.push(kernels::damped_update_variant(&format!("cg_precond_k{i:02}"), 40 + i as u32));
+        }
+        let m = load_kernels(rt, "cg", kernels)?;
+        let spmv = rt.get_kernel(m, "cg_spmv")?;
+        let axpy_x = rt.get_kernel(m, "cg_axpy_x")?;
+        let axpy_r = rt.get_kernel(m, "cg_axpy_r")?;
+        let update_p = rt.get_kernel(m, "cg_update_p")?;
+        let reduce = rt.get_kernel(m, "cg_reduce")?;
+        let copy = rt.get_kernel(m, "cg_copy")?;
+        let dot_mul = rt.get_kernel(m, "cg_dot_mul")?;
+        let precond: Vec<_> = (0..AUX)
+            .map(|i| rt.get_kernel(m, &format!("cg_precond_k{i:02}")))
+            .collect::<Result<_, _>>()?;
+
+        // A diagonally-dominant sparse system with `deg` off-diagonals.
+        let nnz = (n * deg) as usize;
+        let val = rt.alloc((nnz * 4) as u32)?;
+        let idx = rt.alloc((nnz * 4) as u32)?;
+        let x = rt.alloc(n * 4)?;
+        let r = rt.alloc(n * 4)?;
+        let p = rt.alloc(n * 4)?;
+        let ap = rt.alloc(n * 4)?;
+        let scratch = rt.alloc(n * 4)?;
+        let vals: Vec<f32> = (0..nnz)
+            .map(|k| if k % deg as usize == 0 { 2.5 } else { -0.2 })
+            .collect();
+        let idxs: Vec<u32> = (0..n)
+            .flat_map(|i| (0..deg).map(move |j| if j == 0 { i } else { (i + j * 7) % n }))
+            .collect();
+        rt.write_f32s(val, &vals)?;
+        rt.write_u32s(idx, &idxs)?;
+        rt.write_f32s(x, &vec![0.0; n as usize])?;
+        let b: Vec<f32> = (0..n).map(|i| 1.0 + 0.01 * (i % 9) as f32).collect();
+        rt.write_f32s(r, &b)?;
+        rt.write_f32s(p, &b)?;
+
+        let blocks = n.div_ceil(32);
+        // Reduce an n-vector down to one value through the tree; returns the
+        // scalar read back on the host (mirrors CG's host-side alpha/beta).
+        let tree_reduce = |rt: &mut Runtime, src: u32, len: u32| -> Result<f32, RuntimeError> {
+            let mut len = len;
+            let mut src = src;
+            loop {
+                let out_blocks = len.div_ceil(32);
+                rt.launch(reduce, out_blocks, 32u32, &[scratch.addr(), src, len])?;
+                if out_blocks == 1 {
+                    return Ok(rt.read_f32s(scratch, 1)?[0]);
+                }
+                len = out_blocks;
+                src = scratch.addr();
+            }
+        };
+
+        let mut rho_prev = 1.0f32;
+        for it in 0..iters {
+            // Light "preconditioner" passes, a few per iteration.
+            for (j, pk) in precond.iter().enumerate() {
+                if (it as usize + j).is_multiple_of(5) {
+                    rt.launch(*pk, blocks, 32u32, &[p.addr(), n])?;
+                }
+            }
+            rt.launch(spmv, blocks, 32u32, &[ap.addr(), val.addr(), idx.addr(), p.addr(), deg, n])?;
+            // rho = r·r, p_ap = p·Ap — elementwise product then tree-reduce.
+            rt.launch(dot_mul, blocks, 32u32, &[scratch.addr(), r.addr(), r.addr(), n])?;
+            let rho = tree_reduce(rt, scratch.addr(), n)?;
+            rt.launch(dot_mul, blocks, 32u32, &[scratch.addr(), p.addr(), ap.addr(), n])?;
+            let p_ap = tree_reduce(rt, scratch.addr(), n)?;
+            // Host-side clamps keep this synthetic iteration contractive
+            // even though the matrix is only approximately SPD.
+            let alpha = (rho / p_ap.max(1e-6)).clamp(-1.0, 1.0);
+            rt.launch(axpy_x, blocks, 32u32, &[x.addr(), p.addr(), alpha.to_bits(), n])?;
+            rt.launch(axpy_r, blocks, 32u32, &[r.addr(), ap.addr(), (-alpha).to_bits(), n])?;
+            let beta = (rho / rho_prev.max(1e-6)).clamp(0.0, 0.9);
+            rho_prev = rho.max(1e-6);
+            rt.launch(update_p, blocks, 32u32, &[p.addr(), r.addr(), p.addr(), beta.to_bits(), n])?;
+            rt.launch(copy, blocks, 32u32, &[scratch.addr(), r.addr(), n])?;
+        }
+        rt.synchronize()?;
+
+        let xs = rt.read_f32s(x, n as usize)?;
+        let norm: f64 = xs.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt();
+        rt.println(format!("cg unknowns {n} iters {iters}"));
+        rt.println(format!("x_norm {}", fmt_f(norm)));
+        rt.write_file("cg.out", f32_bytes(&xs));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean_and_produces_solution() {
+        let out = run_program(&Cg { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        let line = out.stdout.lines().find(|l| l.starts_with("x_norm")).expect("norm");
+        let v: f64 = line.split_whitespace().nth(1).expect("v").parse().expect("f64");
+        assert!(v.is_finite() && v > 0.0, "{v}");
+    }
+
+    #[test]
+    fn static_kernel_count_is_22() {
+        let out = run_program(&Cg { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 22, "Table IV: 22 static kernels");
+    }
+
+    #[test]
+    fn reduce_tree_varies_instance_workload() {
+        // The defining property: `cg_reduce` instances have different
+        // dynamic sizes (the reduction tree shrinks).
+        let out = run_program(&Cg { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        let sizes: std::collections::BTreeSet<u64> = out
+            .summary
+            .launches
+            .iter()
+            .filter(|l| l.kernel == "cg_reduce")
+            .map(|l| l.stats.dyn_instrs)
+            .collect();
+        assert!(sizes.len() >= 2, "reduction tree must have ≥2 level sizes: {sizes:?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! `353.clvrleaf` — weather (CloverLeaf-style compressible hydrodynamics).
+//!
+//! Table IV shape: **116 static kernels**, 12,528 dynamic kernels. The
+//! OpenACC CloverLeaf famously compiles into well over a hundred small
+//! kernels; here: 112 generated cell-update variants plus a two-buffer
+//! stencil pair, a guarded flux limiter, and a field copy.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// Number of generated variant kernels (112 + 4 structural = 116 total).
+const VARIANTS: usize = 112;
+
+/// The `353.clvrleaf` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clvrleaf {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Clvrleaf {
+    /// ((width, height), hydro steps).
+    fn dims(&self) -> ((u32, u32), u32) {
+        self.scale.pick(((8, 4), 1), ((8, 6), 4))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-4)
+    }
+}
+
+impl Program for Clvrleaf {
+    fn name(&self) -> &str {
+        "353.clvrleaf"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let ((w, h), steps) = self.dims();
+        let n = (w * h) as usize;
+        let mut kernels: Vec<_> = (0..VARIANTS)
+            .map(|i| kernels::damped_update_variant(&format!("clvr_cell_k{i:03}"), i as u32))
+            .collect();
+        kernels.push(kernels::stencil5_f32("clvr_advec_x"));
+        kernels.push(kernels::stencil5_f32("clvr_advec_y"));
+        kernels.push(kernels::guarded_update("clvr_limiter"));
+        kernels.push(kernels::copy_f32("clvr_halo"));
+        let m = load_kernels(rt, "clvrleaf", kernels)?;
+        let variants: Vec<_> = (0..VARIANTS)
+            .map(|i| rt.get_kernel(m, &format!("clvr_cell_k{i:03}")))
+            .collect::<Result<_, _>>()?;
+        let advec_x = rt.get_kernel(m, "clvr_advec_x")?;
+        let advec_y = rt.get_kernel(m, "clvr_advec_y")?;
+        let limiter = rt.get_kernel(m, "clvr_limiter")?;
+        let halo = rt.get_kernel(m, "clvr_halo")?;
+
+        let density = rt.alloc((n * 4) as u32)?;
+        let work = rt.alloc((n * 4) as u32)?;
+        let init: Vec<f32> =
+            (0..n).map(|i| if i < n / 2 { 1.0 } else { 0.125 }).collect(); // Sod-like split
+        rt.write_f32s(density, &init)?;
+
+        let blocks = (n as u32).div_ceil(32);
+        for _ in 0..steps {
+            // Every cell-update pass (EOS, viscosity, accelerate, …)
+            for v in &variants {
+                rt.launch(*v, blocks, 32u32, &[density.addr(), n as u32])?;
+            }
+            // Directional advection sweeps (ping-pong).
+            rt.launch(advec_x, h, w, &[work.addr(), density.addr(), 0.15f32.to_bits()])?;
+            rt.launch(advec_y, h, w, &[density.addr(), work.addr(), 0.15f32.to_bits()])?;
+            // Flux limiter only where density drifted high.
+            rt.launch(limiter, blocks, 32u32, &[density.addr(), 1.05f32.to_bits(), n as u32])?;
+            rt.launch(halo, blocks, 32u32, &[work.addr(), density.addr(), n as u32])?;
+        }
+        rt.synchronize()?;
+
+        let field = rt.read_f32s(density, n)?;
+        let mass: f64 = field.iter().map(|v| *v as f64).sum();
+        rt.println(format!("clvrleaf cells {n} steps {steps}"));
+        rt.println(format!("mass {}", fmt_f(mass)));
+        rt.write_file("clvrleaf.out", f32_bytes(&field));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean() {
+        let out = run_program(&Clvrleaf { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(out.stdout.contains("mass"));
+    }
+
+    #[test]
+    fn static_kernel_count_is_116() {
+        let out = run_program(&Clvrleaf { scale: Scale::Test }, RuntimeConfig::default(), None);
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 116, "Table IV: 116 static kernels");
+    }
+}

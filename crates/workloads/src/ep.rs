@@ -1,0 +1,116 @@
+//! `352.ep` — embarrassingly parallel (NAS EP flavour).
+//!
+//! Table IV shape: 7 static kernels, 187 dynamic kernels. Rounds of
+//! pseudo-random generation, transform, tallying, and reduction; integer
+//! and atomic heavy, checked exactly (integer outputs have no tolerance).
+
+use crate::common::{load_kernels, Scale};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+use nvbitfi::ExactDiff;
+
+/// The `352.ep` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ep {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Ep {
+    /// (elements, rounds).
+    fn dims(&self) -> (u32, u32) {
+        self.scale.pick((32, 5), (64, 30))
+    }
+
+    /// The program's SDC-checking script: integer outputs, exact.
+    pub fn check() -> ExactDiff {
+        ExactDiff
+    }
+}
+
+impl Program for Ep {
+    fn name(&self) -> &str {
+        "352.ep"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let (n, rounds) = self.dims();
+        let nbins = 16u32;
+        let m = load_kernels(
+            rt,
+            "ep",
+            vec![
+                kernels::lcg_scramble("ep_seed"),
+                kernels::bitmix_u32("ep_next"),
+                kernels::mufu_transform("ep_gauss"),
+                kernels::atomic_histogram("ep_tally"),
+                kernels::reduce_sum_f32("ep_reduce", 32),
+                kernels::copy_f32("ep_snapshot"),
+                kernels::saxpy_f32("ep_accum"),
+            ],
+        )?;
+        let seed = rt.get_kernel(m, "ep_seed")?;
+        let next = rt.get_kernel(m, "ep_next")?;
+        let gauss = rt.get_kernel(m, "ep_gauss")?;
+        let tally = rt.get_kernel(m, "ep_tally")?;
+        let reduce = rt.get_kernel(m, "ep_reduce")?;
+        let snapshot = rt.get_kernel(m, "ep_snapshot")?;
+        let accum = rt.get_kernel(m, "ep_accum")?;
+
+        let state = rt.alloc(n * 4)?;
+        let fvals = rt.alloc(n * 4)?;
+        let bins = rt.alloc(nbins * 4)?;
+        let partials = rt.alloc(n.div_ceil(32) * 4)?;
+        let acc = rt.alloc(n * 4)?;
+        let snap = rt.alloc(n * 4)?;
+        rt.write_u32s(state, &(0..n).map(|i| i.wrapping_mul(2654435761)).collect::<Vec<_>>())?;
+        rt.write_f32s(acc, &vec![0.0; n as usize])?;
+
+        let blocks = n.div_ceil(32);
+        rt.launch(seed, blocks, 32u32, &[state.addr(), n, 4])?;
+        for _ in 0..rounds {
+            rt.launch(next, blocks, 32u32, &[state.addr(), n, 2])?;
+            // interpret the integer state as small floats via transform
+            rt.launch(gauss, blocks, 32u32, &[fvals.addr(), state.addr(), 0.001f32.to_bits(), 0.0005f32.to_bits(), n])?;
+            rt.launch(tally, blocks, 32u32, &[bins.addr(), state.addr(), nbins - 1, n])?;
+            rt.launch(reduce, blocks, 32u32, &[partials.addr(), fvals.addr(), n])?;
+            rt.launch(accum, blocks, 32u32, &[acc.addr(), fvals.addr(), 0.1f32.to_bits(), n])?;
+            rt.launch(snapshot, blocks, 32u32, &[snap.addr(), acc.addr(), n])?;
+        }
+        rt.synchronize()?;
+
+        let hist = rt.read_u32s(bins, nbins as usize)?;
+        let total: u32 = hist.iter().sum();
+        rt.println(format!("ep elements {n} rounds {rounds}"));
+        rt.println(format!("tally_total {total}"));
+        rt.println(format!("histogram {hist:?}"));
+        let bytes: Vec<u8> = hist.iter().flat_map(|v| v.to_le_bytes()).collect();
+        rt.write_file("ep.out", bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean_and_tallies_everything() {
+        let (n, rounds) = Ep { scale: Scale::Test }.dims();
+        let out = run_program(&Ep { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(out.stdout.contains(&format!("tally_total {}", n * rounds)));
+    }
+
+    #[test]
+    fn paper_scale_matches_table_iv_shape() {
+        let out = run_program(&Ep { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 7, "Table IV: 7 static kernels");
+        // 1 + 30 rounds × 6 = 181 dynamic kernels (Table IV: 187).
+        assert_eq!(out.summary.launches.len(), 181);
+    }
+}

@@ -1,0 +1,87 @@
+//! `360.ilbdc` — fluid mechanics (lattice-Boltzmann relaxation core).
+//!
+//! Table IV shape: **1 static kernel, 1000 dynamic kernels** — the same
+//! relaxation kernel launched over and over. Like `304.olbm` this host does
+//! not check device errors.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// The `360.ilbdc` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ilbdc {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Ilbdc {
+    /// (cells, launches).
+    fn dims(&self) -> (u32, u32) {
+        self.scale.pick((8, 20), (8, 250))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-3)
+    }
+}
+
+impl Program for Ilbdc {
+    fn name(&self) -> &str {
+        "360.ilbdc"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let (ncells, launches) = self.dims();
+        let total = (9 * ncells) as usize;
+        let m = load_kernels(rt, "ilbdc", vec![kernels::lbm_collide("ilbdc_relax")])?;
+        let relax = rt.get_kernel(m, "ilbdc_relax")?;
+
+        let f = rt.alloc((total * 4) as u32)?;
+        let init: Vec<f32> = (0..total).map(|i| 1.0 + 0.05 * ((i % 7) as f32)).collect();
+        rt.write_f32s(f, &init)?;
+
+        let blocks = ncells.div_ceil(32).max(1);
+        for _ in 0..launches {
+            rt.launch(relax, blocks, 32u32, &[f.addr(), 0.55f32.to_bits(), ncells])?;
+        }
+        // No error check (potential-DUE population).
+
+        let field = rt.read_f32s(f, total)?;
+        let mass: f64 = field.iter().map(|v| *v as f64).sum();
+        rt.println(format!("ilbdc cells {ncells} launches {launches}"));
+        rt.println(format!("mass {}", fmt_f(mass)));
+        rt.write_file("ilbdc.out", f32_bytes(&field));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean_and_conserves_mass() {
+        let p = Ilbdc { scale: Scale::Test };
+        let (ncells, _) = p.dims();
+        let out = run_program(&p, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        // Relaxation conserves per-cell mass: total = Σ initial.
+        let expect: f64 = (0..9 * ncells as usize).map(|i| 1.0 + 0.05 * ((i % 7) as f64)).sum();
+        let line = out.stdout.lines().find(|l| l.starts_with("mass")).expect("mass");
+        let got: f64 = line.split_whitespace().nth(1).expect("v").parse().expect("f64");
+        assert!((got - expect).abs() < 1e-2, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn single_static_kernel_many_dynamic() {
+        let out = run_program(&Ilbdc { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 1, "Table IV: 1 static kernel");
+        assert_eq!(out.summary.launches.len(), 250);
+    }
+}

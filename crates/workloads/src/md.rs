@@ -1,0 +1,120 @@
+//! `350.md` — molecular dynamics (Lennard-Jones, FP64).
+//!
+//! Table IV shape: 3 static kernels, 53 dynamic kernels
+//! (17 timesteps × (`md_forces` + `md_vel` + `md_integrate`) + 2 setup).
+//! The FP64 arithmetic makes this the suite's main `G_FP64` target.
+
+use crate::common::{f64_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// The `350.md` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Md {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Md {
+    /// (atoms, timesteps).
+    fn dims(&self) -> (u32, u32) {
+        self.scale.pick((8, 3), (24, 17))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f64(1e-9)
+    }
+}
+
+impl Program for Md {
+    fn name(&self) -> &str {
+        "350.md"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let (n, steps) = self.dims();
+        let m = load_kernels(
+            rt,
+            "md",
+            vec![
+                kernels::lj_force_f64("md_forces"),
+                kernels::daxpy_f64("md_vel"),
+                kernels::integrate_f64("md_integrate"),
+            ],
+        )?;
+        let forces = rt.get_kernel(m, "md_forces")?;
+        let vel_update = rt.get_kernel(m, "md_vel")?;
+        let integrate = rt.get_kernel(m, "md_integrate")?;
+
+        let pos = rt.alloc(n * 8)?;
+        let vel = rt.alloc(n * 8)?;
+        let force = rt.alloc(n * 8)?;
+        // A slightly perturbed 1-D chain.
+        let ps: Vec<f64> = (0..n).map(|i| i as f64 * 1.2 + 0.01 * ((i % 3) as f64)).collect();
+        rt.write_f64s(pos, &ps)?;
+        rt.write_f64s(vel, &vec![0.0; n as usize])?;
+
+        let dt = 0.002f32;
+        let dt_bits = (dt as f64).to_bits();
+        let blocks = n.div_ceil(32);
+        // Setup: one force evaluation + half-kick (the 2 extra dynamic
+        // kernels in the Table IV count).
+        rt.launch(forces, blocks, 32u32, &[force.addr(), pos.addr(), n])?;
+        rt.launch(
+            vel_update,
+            blocks,
+            32u32,
+            &[vel.addr(), force.addr(), dt_bits as u32, (dt_bits >> 32) as u32, n],
+        )?;
+        for _ in 0..steps {
+            rt.launch(forces, blocks, 32u32, &[force.addr(), pos.addr(), n])?;
+            rt.launch(
+                vel_update,
+                blocks,
+                32u32,
+                &[vel.addr(), force.addr(), dt_bits as u32, (dt_bits >> 32) as u32, n],
+            )?;
+            rt.launch(integrate, blocks, 32u32, &[pos.addr(), vel.addr(), dt.to_bits(), n])?;
+        }
+        // This host is built abort-on-error style (CHECK macros calling
+        // abort()): a device fault crashes the process — an OS-detected DUE.
+        rt.synchronize_or_abort()?;
+
+        let p = rt.read_f64s(pos, n as usize)?;
+        let v = rt.read_f64s(vel, n as usize)?;
+        let com: f64 = p.iter().sum::<f64>() / n as f64;
+        let ke: f64 = v.iter().map(|x| 0.5 * x * x).sum();
+        rt.println(format!("md atoms {n} steps {steps}"));
+        rt.println(format!("center_of_mass {}", fmt_f(com)));
+        rt.println(format!("kinetic_energy {}", fmt_f(ke)));
+        rt.write_file("md.out", f64_bytes(&p));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean_and_moves_atoms() {
+        let out = run_program(&Md { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        let ke_line = out.stdout.lines().find(|l| l.starts_with("kinetic_energy")).expect("ke");
+        let ke: f64 = ke_line.split_whitespace().nth(1).expect("v").parse().expect("f64");
+        assert!(ke > 0.0, "atoms must move: {ke}");
+    }
+
+    #[test]
+    fn paper_scale_matches_table_iv_shape() {
+        let out = run_program(&Md { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        // 3 static kernels, 53 dynamic kernels (Table IV).
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(out.summary.launches.len(), 53);
+    }
+}

@@ -1,0 +1,122 @@
+//! `359.miniGhost` — finite difference with halo exchange.
+//!
+//! Table IV shape: 26 static kernels, 8010 dynamic kernels. Alternating
+//! stencil variants with explicit "halo exchange" copies and a global
+//! residual reduction each step.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// Stencil variants (10) + copies (8) + reduce (1) + others = 26 static.
+const STENCILS: usize = 10;
+const COPIES: usize = 8;
+const MISC: usize = 7;
+
+/// The `359.miniGhost` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiniGhost {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl MiniGhost {
+    /// ((width, height), timesteps).
+    fn dims(&self) -> ((u32, u32), u32) {
+        self.scale.pick(((8, 4), 2), ((8, 6), 25))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-4)
+    }
+}
+
+impl Program for MiniGhost {
+    fn name(&self) -> &str {
+        "359.miniGhost"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let ((w, h), steps) = self.dims();
+        let n = (w * h) as usize;
+        let mut kernels = Vec::new();
+        for i in 0..STENCILS {
+            kernels.push(kernels::stencil5_f32(&format!("mg_stencil_k{i:02}")));
+        }
+        for i in 0..COPIES {
+            kernels.push(kernels::copy_f32(&format!("mg_halo_k{i}")));
+        }
+        kernels.push(kernels::reduce_sum_f32("mg_residual", 32));
+        for i in 0..MISC {
+            kernels.push(kernels::damped_update_variant(&format!("mg_bspma_k{i}"), 29 + i as u32));
+        }
+        let m = load_kernels(rt, "minighost", kernels)?;
+        let stencils: Vec<_> = (0..STENCILS)
+            .map(|i| rt.get_kernel(m, &format!("mg_stencil_k{i:02}")))
+            .collect::<Result<_, _>>()?;
+        let halos: Vec<_> = (0..COPIES)
+            .map(|i| rt.get_kernel(m, &format!("mg_halo_k{i}")))
+            .collect::<Result<_, _>>()?;
+        let residual = rt.get_kernel(m, "mg_residual")?;
+        let misc: Vec<_> = (0..MISC)
+            .map(|i| rt.get_kernel(m, &format!("mg_bspma_k{i}")))
+            .collect::<Result<_, _>>()?;
+
+        let a = rt.alloc((n * 4) as u32)?;
+        let b = rt.alloc((n * 4) as u32)?;
+        let partials = rt.alloc((n as u32).div_ceil(32) * 4)?;
+        let mut init = vec![0.3f32; n];
+        init[n / 3] = 9.0;
+        init[2 * n / 3] = -4.0;
+        rt.write_f32s(a, &init)?;
+        rt.write_f32s(b, &init)?;
+
+        let blocks = (n as u32).div_ceil(32);
+        let (mut src, mut dst) = (a, b);
+        for s in 0..steps {
+            let st = stencils[(s as usize) % STENCILS];
+            rt.launch(st, h, w, &[dst.addr(), src.addr(), 0.18f32.to_bits()])?;
+            // Halo exchange: two copies per step, rotating buffers.
+            let h1 = halos[(s as usize * 2) % COPIES];
+            let h2 = halos[(s as usize * 2 + 1) % COPIES];
+            rt.launch(h1, blocks, 32u32, &[src.addr(), dst.addr(), n as u32])?;
+            rt.launch(h2, blocks, 32u32, &[dst.addr(), src.addr(), n as u32])?;
+            let mk = misc[(s as usize) % MISC];
+            rt.launch(mk, blocks, 32u32, &[dst.addr(), n as u32])?;
+            rt.launch(residual, blocks, 32u32, &[partials.addr(), dst.addr(), n as u32])?;
+            std::mem::swap(&mut src, &mut dst);
+        }
+        rt.synchronize()?;
+
+        let field = rt.read_f32s(src, n)?;
+        let parts = rt.read_f32s(partials, blocks as usize)?;
+        let res: f64 = parts.iter().map(|v| *v as f64).sum();
+        rt.println(format!("minighost cells {n} steps {steps}"));
+        rt.println(format!("residual {}", fmt_f(res)));
+        rt.write_file("minighost.out", f32_bytes(&field));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean() {
+        let out = run_program(&MiniGhost { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(out.stdout.contains("residual"));
+    }
+
+    #[test]
+    fn static_kernel_count_is_26() {
+        let out = run_program(&MiniGhost { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 26, "Table IV: 26 static kernels");
+    }
+}

@@ -1,0 +1,112 @@
+//! `304.olbm` — computational fluid dynamics, Lattice Boltzmann Method.
+//!
+//! Table IV shape: 3 static kernels, ~900 dynamic kernels. Each timestep
+//! launches one `lbm_collide`, nine per-direction `lbm_stream`s, and one
+//! `lbm_bc` boundary relaxation, so 80 timesteps ≈ 881 dynamic kernels.
+//!
+//! This host deliberately does *not* check device errors
+//! (`cudaGetLastError` is never called) — it is one of the programs that
+//! populate the paper's *potential DUE* category when a fault corrupts an
+//! address.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// The `304.olbm` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Olbm {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Olbm {
+    /// (cells, timesteps). Cells must be a power of two (circular shifts).
+    fn dims(&self) -> (u32, u32) {
+        self.scale.pick((16, 8), (16, 80))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-3)
+    }
+}
+
+impl Program for Olbm {
+    fn name(&self) -> &str {
+        "304.olbm"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let (ncells, steps) = self.dims();
+        let total = (9 * ncells) as usize;
+        let m = load_kernels(
+            rt,
+            "olbm",
+            vec![
+                kernels::lbm_collide("lbm_collide"),
+                kernels::lbm_stream("lbm_stream"),
+                kernels::guarded_update("lbm_bc"),
+            ],
+        )?;
+        let collide = rt.get_kernel(m, "lbm_collide")?;
+        let stream = rt.get_kernel(m, "lbm_stream")?;
+        let bc = rt.get_kernel(m, "lbm_bc")?;
+
+        let f = rt.alloc((total * 4) as u32)?;
+        let g = rt.alloc((total * 4) as u32)?;
+        let init: Vec<f32> =
+            (0..total).map(|i| 1.0 + 0.08 * ((i % 13) as f32) - 0.04 * ((i % 5) as f32)).collect();
+        rt.write_f32s(f, &init)?;
+
+        let omega = 0.65f32;
+        // Per-direction circular shifts (D2Q9-ish velocity set).
+        let shifts = [0u32, 1, ncells - 1, 4, ncells - 4, 5, ncells - 5, 3, ncells - 3];
+        let blocks = ncells.div_ceil(32).max(1);
+        let (mut cur, mut nxt) = (f, g);
+        for _ in 0..steps {
+            rt.launch(collide, blocks, 32u32, &[cur.addr(), omega.to_bits(), ncells])?;
+            for (d, sh) in shifts.iter().enumerate() {
+                rt.launch(stream, blocks, 32u32, &[nxt.addr(), cur.addr(), d as u32, *sh, ncells])?;
+            }
+            // Dampen distributions that drifted high (threshold evolves the
+            // executed-instruction count across instances).
+            rt.launch(bc, blocks * 9, 32u32, &[nxt.addr(), 1.2f32.to_bits(), total as u32])?;
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        // No rt.synchronize() here on purpose — see module docs.
+
+        let field = rt.read_f32s(cur, total)?;
+        let mass: f64 = field.iter().map(|v| *v as f64).sum();
+        rt.println(format!("olbm cells {ncells} steps {steps}"));
+        rt.println(format!("mass {}", fmt_f(mass)));
+        rt.write_file("olbm.out", f32_bytes(&field));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean() {
+        let out = run_program(&Olbm { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(!out.has_anomaly());
+        assert!(out.stdout.contains("mass"));
+        assert!(out.files.contains_key("olbm.out"));
+    }
+
+    #[test]
+    fn paper_scale_matches_table_iv_shape() {
+        let out = run_program(&Olbm { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 3, "3 static kernels");
+        // 80 steps × 11 launches = 880 dynamic kernels (Table IV: 900).
+        assert_eq!(out.summary.launches.len(), 880);
+    }
+}

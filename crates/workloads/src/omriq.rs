@@ -1,0 +1,82 @@
+//! `314.omriq` — medicine (MRI reconstruction Q-matrix).
+//!
+//! Table IV shape: 2 static kernels, 2 dynamic kernels — one
+//! transcendental-heavy pass each (`mriq_phimag`, `mriq_q`).
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// The `314.omriq` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Omriq {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Omriq {
+    fn samples(&self) -> u32 {
+        self.scale.pick(256, 2048)
+    }
+
+    /// The program's SDC-checking script. MUFU approximations warrant a
+    /// looser tolerance.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-3)
+    }
+}
+
+impl Program for Omriq {
+    fn name(&self) -> &str {
+        "314.omriq"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let n = self.samples();
+        let m = load_kernels(
+            rt,
+            "omriq",
+            vec![kernels::mufu_transform("mriq_phimag"), kernels::mufu_transform("mriq_q")],
+        )?;
+        let phimag = rt.get_kernel(m, "mriq_phimag")?;
+        let q = rt.get_kernel(m, "mriq_q")?;
+
+        let kx = rt.alloc(n * 4)?;
+        let phi = rt.alloc(n * 4)?;
+        let out = rt.alloc(n * 4)?;
+        let ks: Vec<f32> = (0..n).map(|i| i as f32 * 0.013 - 3.0).collect();
+        rt.write_f32s(kx, &ks)?;
+
+        let blocks = n.div_ceil(64);
+        rt.launch(phimag, blocks, 64u32, &[phi.addr(), kx.addr(), 1.3f32.to_bits(), 2.1f32.to_bits(), n])?;
+        rt.launch(q, blocks, 64u32, &[out.addr(), phi.addr(), 0.7f32.to_bits(), 4.5f32.to_bits(), n])?;
+        rt.synchronize()?;
+
+        let qv = rt.read_f32s(out, n as usize)?;
+        let energy: f64 = qv.iter().map(|v| (*v as f64) * (*v as f64)).sum();
+        rt.println(format!("omriq samples {n}"));
+        rt.println(format!("q_energy {}", fmt_f(energy)));
+        rt.write_file("omriq.out", f32_bytes(&qv));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean() {
+        let out = run_program(&Omriq { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(out.stdout.contains("q_energy"));
+    }
+
+    #[test]
+    fn exactly_two_dynamic_kernels() {
+        let out = run_program(&Omriq { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        assert_eq!(out.summary.launches.len(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! `303.ostencil` — thermodynamics (2-D heat diffusion stencil).
+//!
+//! Table IV shape: 2 static kernels, 101 dynamic kernels
+//! (50 ping-pong iterations × 2 `stencil_step` launches + 1 `final_copy`).
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// The `303.ostencil` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ostencil {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Ostencil {
+    /// (width, height, iterations): each iteration is two `stencil_step`
+    /// launches (ping-pong), so dynamic kernels = 2·iters + 1.
+    fn dims(&self) -> (u32, u32, u32) {
+        self.scale.pick((8, 6, 5), (16, 12, 50))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-4)
+    }
+}
+
+impl Program for Ostencil {
+    fn name(&self) -> &str {
+        "303.ostencil"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let (w, h, iters) = self.dims();
+        let n = (w * h) as usize;
+        let m = load_kernels(
+            rt,
+            "ostencil",
+            vec![kernels::stencil5_f32("stencil_step"), kernels::copy_f32("final_copy")],
+        )?;
+        let step = rt.get_kernel(m, "stencil_step")?;
+        let copy = rt.get_kernel(m, "final_copy")?;
+
+        let a = rt.alloc((n * 4) as u32)?;
+        let b = rt.alloc((n * 4) as u32)?;
+        let out = rt.alloc((n * 4) as u32)?;
+        // Hot plate: top row at 100 degrees, a hot spot in the middle.
+        let mut init = vec![0.0f32; n];
+        for cell in init.iter_mut().take(w as usize) {
+            *cell = 100.0;
+        }
+        init[(h / 2 * w + w / 2) as usize] = 250.0;
+        rt.write_f32s(a, &init)?;
+        rt.write_f32s(b, &init)?;
+
+        let c = 0.2f32;
+        let (mut src, mut dst) = (a, b);
+        for _ in 0..iters {
+            rt.launch(step, h, w, &[dst.addr(), src.addr(), c.to_bits()])?;
+            std::mem::swap(&mut src, &mut dst);
+            rt.launch(step, h, w, &[dst.addr(), src.addr(), c.to_bits()])?;
+            std::mem::swap(&mut src, &mut dst);
+        }
+        rt.launch(copy, h, w, &[out.addr(), src.addr(), n as u32])?;
+        rt.synchronize()?;
+
+        let field = rt.read_f32s(out, n)?;
+        let total: f64 = field.iter().map(|v| *v as f64).sum();
+        let hottest = field.iter().cloned().fold(f32::MIN, f32::max);
+        rt.println(format!("ostencil cells {n} iters {iters}"));
+        rt.println(format!("heat_total {}", fmt_f(total)));
+        rt.println(format!("heat_max {}", fmt_f(hottest as f64)));
+        rt.write_file("ostencil.out", f32_bytes(&field));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean_and_diffuses_heat() {
+        let out = run_program(&Ostencil { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(!out.has_anomaly());
+        assert!(out.stdout.contains("heat_total"));
+        // The interior warmed up: max is below the initial spike but above 0.
+        let max_line = out.stdout.lines().find(|l| l.starts_with("heat_max")).expect("max");
+        let v: f64 = max_line.split_whitespace().nth(1).expect("v").parse().expect("f64");
+        assert!(v > 50.0 && v < 250.0, "{v}");
+        assert!(out.files.contains_key("ostencil.out"));
+    }
+
+    #[test]
+    fn dynamic_kernel_count_matches_table_iv_shape() {
+        let out = run_program(&Ostencil { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        // 2 static kernels, 101 dynamic kernels (Table IV).
+        assert_eq!(out.summary.launches.len(), 101);
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! `351.palm` — large-eddy simulation, atmospheric turbulence.
+//!
+//! Table IV shape: **100 static kernels**, 7050 dynamic kernels. PALM's
+//! OpenACC build lowers each parallel loop nest into its own kernel; here
+//! the 100 static kernels are generated coefficient variants of a damped
+//! field update, launched round-robin over the shared field.
+//!
+//! Like `304.olbm`, this host never checks device errors.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// Number of generated static kernels (Table IV).
+pub const STATIC_KERNELS: usize = 100;
+
+/// The `351.palm` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Palm {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Palm {
+    /// (field cells, total launches).
+    fn dims(&self) -> (u32, u32) {
+        self.scale.pick((32, 100), (64, 470))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-4)
+    }
+}
+
+impl Program for Palm {
+    fn name(&self) -> &str {
+        "351.palm"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let (n, launches) = self.dims();
+        let kernels: Vec<_> = (0..STATIC_KERNELS)
+            .map(|i| kernels::damped_update_variant(&format!("palm_k{i:02}"), i as u32))
+            .collect();
+        let m = load_kernels(rt, "palm", kernels)?;
+        let handles: Vec<_> = (0..STATIC_KERNELS)
+            .map(|i| rt.get_kernel(m, &format!("palm_k{i:02}")))
+            .collect::<Result<_, _>>()?;
+
+        let field = rt.alloc(n * 4)?;
+        let init: Vec<f32> = (0..n).map(|i| 0.5 + 0.01 * (i % 17) as f32).collect();
+        rt.write_f32s(field, &init)?;
+
+        let blocks = n.div_ceil(32);
+        for l in 0..launches {
+            let k = handles[(l as usize) % STATIC_KERNELS];
+            rt.launch(k, blocks, 32u32, &[field.addr(), n])?;
+        }
+        // No error check, as in olbm — unchecked anomalies become
+        // potential DUEs.
+
+        let f = rt.read_f32s(field, n as usize)?;
+        let mean: f64 = f.iter().map(|v| *v as f64).sum::<f64>() / n as f64;
+        rt.println(format!("palm cells {n} launches {launches}"));
+        rt.println(format!("field_mean {}", fmt_f(mean)));
+        rt.write_file("palm.out", f32_bytes(&f));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean() {
+        let out = run_program(&Palm { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(out.stdout.contains("field_mean"));
+    }
+
+    #[test]
+    fn hundred_static_kernels() {
+        let out = run_program(&Palm { scale: Scale::Test }, RuntimeConfig::default(), None);
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), STATIC_KERNELS, "Table IV: 100 static kernels");
+        assert_eq!(out.summary.launches.len(), 100);
+    }
+}

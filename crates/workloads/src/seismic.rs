@@ -1,0 +1,123 @@
+//! `355.seismic` — seismic wave modeling.
+//!
+//! Table IV shape: 16 static kernels, 3502 dynamic kernels. A 1-D
+//! wave-equation time loop (ping-pong `seis_step`), a source injection, an
+//! absorbing boundary, and a bank of generated attenuation passes.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// Generated attenuation variants (13 + 3 structural = 16 static kernels).
+const VARIANTS: usize = 13;
+
+/// The `355.seismic` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Seismic {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Seismic {
+    /// (grid points, timesteps).
+    fn dims(&self) -> (u32, u32) {
+        self.scale.pick((64, 6), (64, 110))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-3)
+    }
+}
+
+impl Program for Seismic {
+    fn name(&self) -> &str {
+        "355.seismic"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let (n, steps) = self.dims();
+        let mut kernels = vec![
+            kernels::wave_step_f32("seis_step"),
+            kernels::saxpy_f32("seis_source"),
+            kernels::guarded_update("seis_absorb"),
+        ];
+        for i in 0..VARIANTS {
+            kernels.push(kernels::damped_update_variant(&format!("seis_atten_k{i:02}"), 7 + i as u32));
+        }
+        let m = load_kernels(rt, "seismic", kernels)?;
+        let step = rt.get_kernel(m, "seis_step")?;
+        let source = rt.get_kernel(m, "seis_source")?;
+        let absorb = rt.get_kernel(m, "seis_absorb")?;
+        let atten: Vec<_> = (0..VARIANTS)
+            .map(|i| rt.get_kernel(m, &format!("seis_atten_k{i:02}")))
+            .collect::<Result<_, _>>()?;
+
+        let a = rt.alloc(n * 4)?;
+        let b = rt.alloc(n * 4)?;
+        let c = rt.alloc(n * 4)?;
+        let pulse = rt.alloc(n * 4)?;
+        rt.write_f32s(a, &vec![0.0; n as usize])?;
+        rt.write_f32s(b, &vec![0.0; n as usize])?;
+        // Ricker-ish source wavelet centred in the domain.
+        let src: Vec<f32> = (0..n)
+            .map(|i| {
+                let t = (i as f32 - n as f32 / 2.0) / 4.0;
+                (1.0 - 2.0 * t * t) * (-t * t).exp() * 0.1
+            })
+            .collect();
+        rt.write_f32s(pulse, &src)?;
+
+        let blocks = n.div_ceil(32);
+        let courant = 0.4f32;
+        let (mut prev, mut cur, mut next) = (a, b, c);
+        for s in 0..steps {
+            rt.launch(step, blocks, 32u32, &[next.addr(), cur.addr(), prev.addr(), courant.to_bits(), n])?;
+            // Inject the source for the first quarter of the run.
+            if s < steps / 4 + 1 {
+                rt.launch(source, blocks, 32u32, &[next.addr(), pulse.addr(), 1.0f32.to_bits(), n])?;
+            }
+            // Absorb energy where amplitude exceeds a threshold (the
+            // guarded path's dynamic count follows the wavefront).
+            rt.launch(absorb, blocks, 32u32, &[next.addr(), 0.5f32.to_bits(), n])?;
+            let at = atten[(s as usize) % VARIANTS];
+            rt.launch(at, blocks, 32u32, &[next.addr(), n])?;
+            let t = prev;
+            prev = cur;
+            cur = next;
+            next = t;
+        }
+        rt.synchronize()?;
+
+        let field = rt.read_f32s(cur, n as usize)?;
+        let energy: f64 = field.iter().map(|v| (*v as f64) * (*v as f64)).sum();
+        rt.println(format!("seismic points {n} steps {steps}"));
+        rt.println(format!("wave_energy {}", fmt_f(energy)));
+        rt.write_file("seismic.out", f32_bytes(&field));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean_with_propagating_wave() {
+        let out = run_program(&Seismic { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        let line = out.stdout.lines().find(|l| l.starts_with("wave_energy")).expect("energy");
+        let v: f64 = line.split_whitespace().nth(1).expect("v").parse().expect("f64");
+        assert!(v.is_finite(), "{v}");
+    }
+
+    #[test]
+    fn static_kernel_count_is_16() {
+        let out = run_program(&Seismic { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 16, "Table IV: 16 static kernels");
+    }
+}

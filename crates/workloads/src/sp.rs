@@ -1,0 +1,186 @@
+//! `356.sp` and `357.csp` — scalar penta-diagonal solvers.
+//!
+//! Table IV shape: 71 / 69 static kernels, ~27k dynamic kernels (scaled
+//! here). Both programs share the NAS-SP structure — per-dimension line
+//! sweeps plus many small cell-update kernels — and differ in coefficient
+//! sets and kernel counts, exactly as SP and its C-variant CSP do.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// Which of the two penta-diagonal programs this instance is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpVariant {
+    /// `356.sp`: 71 static kernels.
+    Sp,
+    /// `357.csp`: 69 static kernels, different sweep coefficients.
+    Csp,
+}
+
+impl SpVariant {
+    fn name(self) -> &'static str {
+        match self {
+            SpVariant::Sp => "356.sp",
+            SpVariant::Csp => "357.csp",
+        }
+    }
+
+    fn prefix(self) -> &'static str {
+        match self {
+            SpVariant::Sp => "sp",
+            SpVariant::Csp => "csp",
+        }
+    }
+
+    /// Generated cell-update kernels (plus 4 structural = Table IV count).
+    fn variants(self) -> usize {
+        match self {
+            SpVariant::Sp => 67,  // 67 + 4 = 71
+            SpVariant::Csp => 65, // 65 + 4 = 69
+        }
+    }
+
+    fn coeffs(self) -> (f32, f32) {
+        match self {
+            SpVariant::Sp => (0.35, 0.20),
+            SpVariant::Csp => (0.30, 0.25),
+        }
+    }
+}
+
+/// A scalar penta-diagonal solver benchmark (`356.sp` / `357.csp`).
+#[derive(Debug, Clone, Copy)]
+pub struct Sp {
+    /// Problem scale.
+    pub scale: Scale,
+    /// SP or CSP.
+    pub variant: SpVariant,
+}
+
+impl Sp {
+    /// ((rows, rowlen), outer steps).
+    fn dims(&self) -> ((u32, u32), u32) {
+        self.scale.pick(((4, 8), 1), ((8, 8), 10))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-3)
+    }
+}
+
+impl Program for Sp {
+    fn name(&self) -> &str {
+        self.variant.name()
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let ((rows, rowlen), steps) = self.dims();
+        let n = (rows * rowlen) as usize;
+        let p = self.variant.prefix();
+        let nvariants = self.variant.variants();
+        let (ca, cb) = self.variant.coeffs();
+
+        let mut kernels = vec![
+            kernels::line_sweep_f32(&format!("{p}_sweep_x")),
+            kernels::line_sweep_f32(&format!("{p}_sweep_y")),
+            kernels::stencil5_f32(&format!("{p}_rhs")),
+            kernels::guarded_update(&format!("{p}_adi_fix")),
+        ];
+        for i in 0..nvariants {
+            kernels.push(kernels::damped_update_variant(&format!("{p}_cell_k{i:02}"), 11 + i as u32));
+        }
+        let m = load_kernels(rt, p, kernels)?;
+        let sweep_x = rt.get_kernel(m, &format!("{p}_sweep_x"))?;
+        let sweep_y = rt.get_kernel(m, &format!("{p}_sweep_y"))?;
+        let rhs = rt.get_kernel(m, &format!("{p}_rhs"))?;
+        let adi_fix = rt.get_kernel(m, &format!("{p}_adi_fix"))?;
+        let cells: Vec<_> = (0..nvariants)
+            .map(|i| rt.get_kernel(m, &format!("{p}_cell_k{i:02}")))
+            .collect::<Result<_, _>>()?;
+
+        let u = rt.alloc((n * 4) as u32)?;
+        let work = rt.alloc((n * 4) as u32)?;
+        let init: Vec<f32> = (0..n).map(|i| 0.4 + 0.02 * ((i % 23) as f32)).collect();
+        rt.write_f32s(u, &init)?;
+
+        let blocks = (n as u32).div_ceil(32);
+        let row_blocks = rows.div_ceil(32);
+        for s in 0..steps {
+            // Compute an RHS-like smoothed field.
+            rt.launch(rhs, rows, rowlen, &[work.addr(), u.addr(), 0.1f32.to_bits()])?;
+            // ADI line sweeps along both logical dimensions.
+            rt.launch(sweep_x, row_blocks, 32u32, &[u.addr(), ca.to_bits(), cb.to_bits(), rowlen, rows])?;
+            rt.launch(sweep_y, row_blocks, 32u32, &[u.addr(), cb.to_bits(), ca.to_bits(), rowlen, rows])?;
+            // A rotating subset of the cell-update kernels each step.
+            for (j, c) in cells.iter().enumerate() {
+                if (s as usize + j).is_multiple_of(2) {
+                    rt.launch(*c, blocks, 32u32, &[u.addr(), n as u32])?;
+                }
+            }
+            rt.launch(adi_fix, blocks, 32u32, &[u.addr(), 0.9f32.to_bits(), n as u32])?;
+        }
+        rt.synchronize()?;
+
+        let field = rt.read_f32s(u, n)?;
+        let norm: f64 = field.iter().map(|v| (*v as f64).abs()).sum();
+        rt.println(format!("{p} cells {n} steps {steps}"));
+        rt.println(format!("u_norm {}", fmt_f(norm)));
+        rt.write_file(format!("{p}.out"), f32_bytes(&field));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn sp_golden_run_is_clean() {
+        let out = run_program(
+            &Sp { scale: Scale::Test, variant: SpVariant::Sp },
+            RuntimeConfig::default(),
+            None,
+        );
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(out.stdout.contains("u_norm"));
+    }
+
+    #[test]
+    fn static_kernel_counts_match_table_iv() {
+        for (variant, expect) in [(SpVariant::Sp, 71usize), (SpVariant::Csp, 69)] {
+            let out = run_program(
+                &Sp { scale: Scale::Paper, variant },
+                RuntimeConfig::default(),
+                None,
+            );
+            assert!(out.termination.is_clean());
+            let names: std::collections::BTreeSet<_> =
+                out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+            assert_eq!(names.len(), expect, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn sp_and_csp_produce_different_results() {
+        let a = run_program(
+            &Sp { scale: Scale::Test, variant: SpVariant::Sp },
+            RuntimeConfig::default(),
+            None,
+        );
+        let b = run_program(
+            &Sp { scale: Scale::Test, variant: SpVariant::Csp },
+            RuntimeConfig::default(),
+            None,
+        );
+        let norm = |out: &gpu_runtime::ProgramOutput| {
+            out.stdout
+                .lines()
+                .find(|l| l.contains("u_norm"))
+                .map(|l| l.split_whitespace().nth(1).expect("v").to_string())
+        };
+        assert_ne!(norm(&a), norm(&b), "different coefficient sets");
+    }
+}

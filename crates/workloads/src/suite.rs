@@ -1,0 +1,201 @@
+//! The benchmark suite registry — Table IV in code.
+
+use crate::common::Scale;
+use crate::{bt, cg, clvrleaf, ep, ilbdc, md, minighost, olbm, omriq, ostencil, palm, seismic, sp, swim};
+use gpu_runtime::Program;
+use nvbitfi::SdcCheck;
+
+/// One suite program: the runnable [`Program`], its SDC-checking script,
+/// and the paper's Table IV metadata for reporting.
+pub struct BenchEntry {
+    /// Program name (e.g. `"303.ostencil"`).
+    pub name: &'static str,
+    /// Table IV description.
+    pub description: &'static str,
+    /// Static kernel count reported in Table IV.
+    pub paper_static: u32,
+    /// Dynamic kernel count reported in Table IV.
+    pub paper_dynamic: u32,
+    /// The runnable program.
+    pub program: Box<dyn Program + Send + Sync>,
+    /// The program's SDC-checking script (§IV-A: always user-provided).
+    pub check: Box<dyn SdcCheck + Send + Sync>,
+}
+
+impl std::fmt::Debug for BenchEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchEntry")
+            .field("name", &self.name)
+            .field("paper_static", &self.paper_static)
+            .field("paper_dynamic", &self.paper_dynamic)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All 15 SpecACCEL-analog programs, in Table IV order.
+pub fn suite(scale: Scale) -> Vec<BenchEntry> {
+    vec![
+        BenchEntry {
+            name: "303.ostencil",
+            description: "Thermodynamics",
+            paper_static: 2,
+            paper_dynamic: 101,
+            program: Box::new(ostencil::Ostencil { scale }),
+            check: Box::new(ostencil::Ostencil::check()),
+        },
+        BenchEntry {
+            name: "304.olbm",
+            description: "Computational fluid dynamics, Lattice Boltzmann Method",
+            paper_static: 3,
+            paper_dynamic: 900,
+            program: Box::new(olbm::Olbm { scale }),
+            check: Box::new(olbm::Olbm::check()),
+        },
+        BenchEntry {
+            name: "314.omriq",
+            description: "Medicine",
+            paper_static: 2,
+            paper_dynamic: 2,
+            program: Box::new(omriq::Omriq { scale }),
+            check: Box::new(omriq::Omriq::check()),
+        },
+        BenchEntry {
+            name: "350.md",
+            description: "Molecular dynamics",
+            paper_static: 3,
+            paper_dynamic: 53,
+            program: Box::new(md::Md { scale }),
+            check: Box::new(md::Md::check()),
+        },
+        BenchEntry {
+            name: "351.palm",
+            description: "Large-eddy simulation, atmospheric turbulence",
+            paper_static: 100,
+            paper_dynamic: 7050,
+            program: Box::new(palm::Palm { scale }),
+            check: Box::new(palm::Palm::check()),
+        },
+        BenchEntry {
+            name: "352.ep",
+            description: "Embarrassingly parallel",
+            paper_static: 7,
+            paper_dynamic: 187,
+            program: Box::new(ep::Ep { scale }),
+            check: Box::new(ep::Ep::check()),
+        },
+        BenchEntry {
+            name: "353.clvrleaf",
+            description: "Weather",
+            paper_static: 116,
+            paper_dynamic: 12_528,
+            program: Box::new(clvrleaf::Clvrleaf { scale }),
+            check: Box::new(clvrleaf::Clvrleaf::check()),
+        },
+        BenchEntry {
+            name: "354.cg",
+            description: "Conjugate gradient",
+            paper_static: 22,
+            paper_dynamic: 2_027,
+            program: Box::new(cg::Cg { scale }),
+            check: Box::new(cg::Cg::check()),
+        },
+        BenchEntry {
+            name: "355.seismic",
+            description: "Seismic wave modeling",
+            paper_static: 16,
+            paper_dynamic: 3_502,
+            program: Box::new(seismic::Seismic { scale }),
+            check: Box::new(seismic::Seismic::check()),
+        },
+        BenchEntry {
+            name: "356.sp",
+            description: "Scalar Penta-diagonal solver",
+            paper_static: 71,
+            paper_dynamic: 27_692,
+            program: Box::new(sp::Sp { scale, variant: sp::SpVariant::Sp }),
+            check: Box::new(sp::Sp::check()),
+        },
+        BenchEntry {
+            name: "357.csp",
+            description: "Scalar Penta-diagonal solver",
+            paper_static: 69,
+            paper_dynamic: 26_890,
+            program: Box::new(sp::Sp { scale, variant: sp::SpVariant::Csp }),
+            check: Box::new(sp::Sp::check()),
+        },
+        BenchEntry {
+            name: "359.miniGhost",
+            description: "Finite difference",
+            paper_static: 26,
+            paper_dynamic: 8_010,
+            program: Box::new(minighost::MiniGhost { scale }),
+            check: Box::new(minighost::MiniGhost::check()),
+        },
+        BenchEntry {
+            name: "360.ilbdc",
+            description: "Fluid mechanics",
+            paper_static: 1,
+            paper_dynamic: 1_000,
+            program: Box::new(ilbdc::Ilbdc { scale }),
+            check: Box::new(ilbdc::Ilbdc::check()),
+        },
+        BenchEntry {
+            name: "363.swim",
+            description: "Weather",
+            paper_static: 22,
+            paper_dynamic: 11_999,
+            program: Box::new(swim::Swim { scale }),
+            check: Box::new(swim::Swim::check()),
+        },
+        BenchEntry {
+            name: "370.bt",
+            description: "Block Tri-diagonal solver for 3D PDE",
+            paper_static: 50,
+            paper_dynamic: 10_069,
+            program: Box::new(bt::Bt { scale }),
+            check: Box::new(bt::Bt::check()),
+        },
+    ]
+}
+
+/// Look up a suite entry by name (accepts `"354.cg"` or `"cg"`).
+pub fn find(scale: Scale, name: &str) -> Option<BenchEntry> {
+    suite(scale)
+        .into_iter()
+        .find(|e| e.name == name || e.name.split('.').nth(1) == Some(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fifteen_programs() {
+        assert_eq!(suite(Scale::Test).len(), 15);
+    }
+
+    #[test]
+    fn names_are_unique_and_table_iv_ordered() {
+        let s = suite(Scale::Test);
+        let names: Vec<_> = s.iter().map(|e| e.name).collect();
+        let mut sorted = names.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+        assert_eq!(names[0], "303.ostencil");
+        assert_eq!(names[14], "370.bt");
+    }
+
+    #[test]
+    fn paper_counts_match_table_iv() {
+        let total_static: u32 = suite(Scale::Test).iter().map(|e| e.paper_static).sum();
+        // Sum of Table IV's static-kernel column.
+        assert_eq!(total_static, 2 + 3 + 2 + 3 + 100 + 7 + 116 + 22 + 16 + 71 + 69 + 26 + 1 + 22 + 50);
+    }
+
+    #[test]
+    fn find_by_short_and_full_name() {
+        assert!(find(Scale::Test, "354.cg").is_some());
+        assert!(find(Scale::Test, "cg").is_some());
+        assert!(find(Scale::Test, "nope").is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! `363.swim` — weather (shallow-water equations).
+//!
+//! Table IV shape: 22 static kernels, 11,999 dynamic kernels. Three coupled
+//! fields (u, v, p) updated by per-field stencils, time-smoothed with
+//! triads, boundary-corrected by guarded updates, plus a bank of generated
+//! filter passes.
+
+use crate::common::{f32_bytes, fmt_f, load_kernels, Scale, TolerantCheck};
+use crate::kernels;
+use gpu_runtime::{Program, Runtime, RuntimeError};
+
+/// Generated filter kernels (13 + 9 structural = 22 static).
+const FILTERS: usize = 13;
+
+/// The `363.swim` benchmark program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Swim {
+    /// Problem scale.
+    pub scale: Scale,
+}
+
+impl Swim {
+    /// ((width, height), timesteps).
+    fn dims(&self) -> ((u32, u32), u32) {
+        self.scale.pick(((8, 4), 2), ((8, 8), 50))
+    }
+
+    /// The program's SDC-checking script.
+    pub fn check() -> TolerantCheck {
+        TolerantCheck::f32(1e-3)
+    }
+}
+
+impl Program for Swim {
+    fn name(&self) -> &str {
+        "363.swim"
+    }
+
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let ((w, h), steps) = self.dims();
+        let n = (w * h) as usize;
+        let mut kernels = vec![
+            kernels::stencil5_f32("swim_calc_u"),
+            kernels::stencil5_f32("swim_calc_v"),
+            kernels::stencil5_f32("swim_calc_p"),
+            kernels::triad_f32("swim_smooth_u"),
+            kernels::triad_f32("swim_smooth_v"),
+            kernels::triad_f32("swim_smooth_p"),
+            kernels::guarded_update("swim_bc_u"),
+            kernels::guarded_update("swim_bc_v"),
+            kernels::guarded_update("swim_bc_p"),
+        ];
+        for i in 0..FILTERS {
+            kernels.push(kernels::damped_update_variant(&format!("swim_filter_k{i:02}"), 53 + i as u32));
+        }
+        let m = load_kernels(rt, "swim", kernels)?;
+        let calc = [
+            rt.get_kernel(m, "swim_calc_u")?,
+            rt.get_kernel(m, "swim_calc_v")?,
+            rt.get_kernel(m, "swim_calc_p")?,
+        ];
+        let smooth = [
+            rt.get_kernel(m, "swim_smooth_u")?,
+            rt.get_kernel(m, "swim_smooth_v")?,
+            rt.get_kernel(m, "swim_smooth_p")?,
+        ];
+        let bc = [
+            rt.get_kernel(m, "swim_bc_u")?,
+            rt.get_kernel(m, "swim_bc_v")?,
+            rt.get_kernel(m, "swim_bc_p")?,
+        ];
+        let filters: Vec<_> = (0..FILTERS)
+            .map(|i| rt.get_kernel(m, &format!("swim_filter_k{i:02}")))
+            .collect::<Result<_, _>>()?;
+
+        // Three fields and a scratch buffer each.
+        let mut fields = Vec::new();
+        for fi in 0..3u32 {
+            let cur = rt.alloc((n * 4) as u32)?;
+            let new = rt.alloc((n * 4) as u32)?;
+            let init: Vec<f32> = (0..n)
+                .map(|i| 0.2 * (fi as f32 + 1.0) + 0.03 * (((i as u32 + fi * 5) % 11) as f32))
+                .collect();
+            rt.write_f32s(cur, &init)?;
+            rt.write_f32s(new, &init)?;
+            fields.push((cur, new));
+        }
+
+        let blocks = (n as u32).div_ceil(32);
+        for s in 0..steps {
+            for fi in 0..3usize {
+                let (cur, new) = fields[fi];
+                rt.launch(calc[fi], h, w, &[new.addr(), cur.addr(), 0.12f32.to_bits()])?;
+                // time smoothing: cur = cur + 0.5*(new)
+                rt.launch(
+                    smooth[fi],
+                    blocks,
+                    32u32,
+                    &[cur.addr(), cur.addr(), new.addr(), 0.5f32.to_bits(), n as u32],
+                )?;
+                rt.launch(bc[fi], blocks, 32u32, &[cur.addr(), 1.0f32.to_bits(), n as u32])?;
+            }
+            let f = filters[(s as usize) % FILTERS];
+            let (cur, _) = fields[(s as usize) % 3];
+            rt.launch(f, blocks, 32u32, &[cur.addr(), n as u32])?;
+        }
+        rt.synchronize()?;
+
+        let mut all = Vec::new();
+        let mut checks = Vec::new();
+        for (cur, _) in &fields {
+            let f = rt.read_f32s(*cur, n)?;
+            checks.push(f.iter().map(|v| *v as f64).sum::<f64>());
+            all.extend_from_slice(&f);
+        }
+        rt.println(format!("swim cells {n} steps {steps}"));
+        rt.println(format!(
+            "u_sum {} v_sum {} p_sum {}",
+            fmt_f(checks[0]),
+            fmt_f(checks[1]),
+            fmt_f(checks[2])
+        ));
+        rt.write_file("swim.out", f32_bytes(&all));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_runtime::{run_program, RuntimeConfig};
+
+    #[test]
+    fn golden_run_is_clean() {
+        let out = run_program(&Swim { scale: Scale::Test }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean(), "{}", out.stdout);
+        assert!(out.stdout.contains("u_sum"));
+    }
+
+    #[test]
+    fn static_kernel_count_is_22() {
+        let out = run_program(&Swim { scale: Scale::Paper }, RuntimeConfig::default(), None);
+        assert!(out.termination.is_clean());
+        let names: std::collections::BTreeSet<_> =
+            out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();
+        assert_eq!(names.len(), 22, "Table IV: 22 static kernels");
+    }
+}

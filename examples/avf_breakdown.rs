@@ -1,0 +1,77 @@
+//! AVF estimation — the paper's §I motivation, computed the way a
+//! reliability engineer would: one campaign per base instruction group,
+//! combined into a whole-program AVF by each group's share of the dynamic
+//! instruction population.
+//!
+//! Usage: `cargo run --release --example avf_breakdown [program] [injections-per-group]`
+
+use nvbitfi::avf::{self, GroupAvf};
+use nvbitfi::{report, run_transient_campaign, CampaignConfig, InstrGroup, ProfilingMode};
+use workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv = std::env::args().skip(1);
+    let name = argv.next().unwrap_or_else(|| "303.ostencil".to_string());
+    let injections: usize = argv.next().and_then(|v| v.parse().ok()).unwrap_or(50);
+    let entry = workloads::find(Scale::Test, &name)
+        .ok_or_else(|| format!("unknown program `{name}`"))?;
+
+    println!(
+        "AVF breakdown for {} ({} injections per populated group)\n",
+        entry.name, injections
+    );
+    let mut rows = vec![vec![
+        "group".to_string(),
+        "population".to_string(),
+        "share".to_string(),
+        "SDC-AVF".to_string(),
+        "DUE-AVF".to_string(),
+        "AVF".to_string(),
+    ]];
+    let mut groups: Vec<GroupAvf> = Vec::new();
+    // The six base groups partition the dynamic instruction population.
+    for group in InstrGroup::ALL.iter().take(6).copied() {
+        let cfg = CampaignConfig {
+            injections,
+            group,
+            profiling: ProfilingMode::Exact,
+            ..CampaignConfig::default()
+        };
+        match run_transient_campaign(entry.program.as_ref(), entry.check.as_ref(), &cfg) {
+            Ok(result) => {
+                let population = result.profile.total_in_group(group);
+                let profile_total = result.profile.total();
+                let estimate = avf::from_campaign(&result);
+                rows.push(vec![
+                    group.to_string(),
+                    population.to_string(),
+                    format!("{:.1}%", 100.0 * population as f64 / profile_total.max(1) as f64),
+                    report::pct(estimate.sdc),
+                    report::pct(estimate.due),
+                    report::pct(estimate.total()),
+                ]);
+                groups.push(GroupAvf { group, population, estimate });
+            }
+            Err(nvbitfi::FiError::EmptyPopulation { .. }) => {
+                rows.push(vec![
+                    group.to_string(),
+                    "0".into(),
+                    "0.0%".into(),
+                    "—".into(),
+                    "—".into(),
+                    "—".into(),
+                ]);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    print!("{}", report::table(&rows));
+
+    let combined = avf::combine(&groups).ok_or("no populated groups")?;
+    println!("\nwhole-program estimate (population-weighted): {combined}");
+    println!(
+        "visible-error rate = raw fault rate × {:.3} (the §I product)",
+        combined.total()
+    );
+    Ok(())
+}

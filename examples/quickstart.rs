@@ -1,0 +1,63 @@
+//! Quickstart: the paper's Figure 1 pipeline, end to end, on one program.
+//!
+//! ```text
+//! profile  →  select fault  →  inject  →  compare to golden
+//! ```
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use gpu_runtime::{run_program, RuntimeConfig};
+use nvbitfi::{
+    classify, golden_run, select_transient, BitFlipModel, InstrGroup, ProfilingMode,
+    TransientInjector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = workloads::ostencil::Ostencil { scale: Scale::Test };
+    let check = workloads::ostencil::Ostencil::check();
+    let cfg = RuntimeConfig::default();
+
+    // Golden run: capture reference outputs and calibrate the hang monitor.
+    let golden = golden_run(&program, cfg.clone())?;
+    println!("golden stdout:\n{}", golden.stdout);
+    let mut run_cfg = cfg;
+    run_cfg.instr_budget = Some(golden.suggested_budget());
+
+    // Step 1 — profile (the profiler.so analog, attached like LD_PRELOAD).
+    let profile = nvbitfi::profile_program(&program, run_cfg.clone(), ProfilingMode::Exact)?;
+    println!(
+        "profile: {} dynamic kernels, {} dynamic instructions",
+        profile.kernels.len(),
+        profile.total()
+    );
+    println!("profile file (first 3 lines):");
+    for line in profile.to_file().lines().take(3) {
+        println!("  {line}");
+    }
+
+    // Step 2 — select faults uniformly over the G_GPPR population.
+    let mut rng = StdRng::seed_from_u64(42);
+    println!("\ninjecting 5 random transient faults:");
+    for i in 0..5 {
+        let params = select_transient(
+            &profile,
+            InstrGroup::GpPr,
+            BitFlipModel::FlipSingleBit,
+            &mut rng,
+        )?;
+        println!("  fault {i}: {params}");
+
+        // Step 3 — inject (the injector.so analog).
+        let (tool, handle) = TransientInjector::new(params);
+        let out = run_program(&program, run_cfg.clone(), Some(Box::new(tool)));
+
+        // Step 4 — compare against golden and classify (Table V).
+        let outcome = classify(&golden, &out, &check);
+        let fired = if handle.get().injected { "fired" } else { "not reached" };
+        println!("           -> {outcome} ({fired})");
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! A full transient-fault campaign on one benchmark program, with
+//! confidence intervals — §IV-B's experiment for a single program.
+//!
+//! Usage: `cargo run --release --example transient_campaign [program] [injections]`
+//! e.g. `cargo run --release --example transient_campaign 354.cg 200`
+
+use nvbitfi::{report, run_transient_campaign, stats, CampaignConfig, ProfilingMode};
+use workloads::Scale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut argv = std::env::args().skip(1);
+    let name = argv.next().unwrap_or_else(|| "303.ostencil".to_string());
+    let injections: usize = argv.next().and_then(|v| v.parse().ok()).unwrap_or(100);
+
+    let entry = workloads::find(Scale::Test, &name)
+        .ok_or_else(|| format!("unknown program `{name}`; try 303.ostencil, 354.cg, …"))?;
+    let cfg = CampaignConfig {
+        injections,
+        profiling: ProfilingMode::Exact,
+        ..CampaignConfig::default()
+    };
+    println!("running {injections} transient injections into {} …", entry.name);
+    let result = run_transient_campaign(entry.program.as_ref(), entry.check.as_ref(), &cfg)?;
+
+    println!("\n{}", report::transient_summary(&result));
+    println!("{} (group {})", nvbitfi::avf::from_campaign(&result), cfg.group);
+    let (sdc, due, masked) = result.counts.fractions();
+    let margin = stats::error_margin(injections, 0.90);
+    println!("\noutcomes with 90% confidence intervals:");
+    println!("  SDC    {:>6}  ±{:.1}%", report::pct(sdc), margin * 100.0);
+    println!("  DUE    {:>6}  ±{:.1}%", report::pct(due), margin * 100.0);
+    println!("  Masked {:>6}  ±{:.1}%", report::pct(masked), margin * 100.0);
+    println!("  potential DUEs folded into the above: {}", result.counts.potential_due);
+    println!(
+        "\nfor ±3% at 95% confidence you would need {} injections (paper §IV-B)",
+        stats::injections_needed(0.031, 0.95)
+    );
+
+    println!("\nfirst 5 injections:");
+    for run in result.runs.iter().take(5) {
+        println!("  {} -> {}", run.params, run.outcome);
+    }
+    Ok(())
+}

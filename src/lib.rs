@@ -1,0 +1,23 @@
+//! # nvbitfi-suite — umbrella crate for the NVBitFI reproduction
+//!
+//! Re-exports every layer of the stack so examples and integration tests
+//! can depend on a single crate:
+//!
+//! * [`gpu_isa`] — the SASS-like instruction set (171 opcodes),
+//! * [`gpu_sim`] — the architectural GPU simulator (SMs, warps, memory,
+//!   traps, instrumentation hooks),
+//! * [`gpu_runtime`] — the CUDA-like runtime with the tool attach point,
+//! * [`nvbit`] — the dynamic binary-instrumentation framework analog,
+//! * [`nvbitfi`] — the fault-injection tool itself (profiler, injectors,
+//!   campaigns, outcome classification),
+//! * [`workloads`] — the 15-program SpecACCEL-analog benchmark suite.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-code map.
+
+pub use gpu_isa;
+pub use gpu_runtime;
+pub use gpu_sim;
+pub use nvbit;
+pub use nvbitfi;
+pub use workloads;

@@ -1,0 +1,106 @@
+//! The "no source code" contract: everything the tool layer sees crosses a
+//! *binary* boundary, exactly as NVBitFI operates on shipped cubins.
+
+use gpu_isa::{asm_text, disasm, encode};
+use gpu_runtime::{run_program, Program, Runtime, RuntimeConfig, RuntimeError};
+use nvbit::{CallSite, InstrView, NvBit, NvBitTool};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use workloads::Scale;
+
+/// A tool that records what it can see of the target's code.
+struct Spy {
+    sass: Arc<Mutex<Vec<String>>>,
+}
+
+impl NvBitTool for Spy {
+    fn on_module_load(&mut self, module: &gpu_isa::Module) {
+        // The tool receives decoded binaries and can disassemble them —
+        // the cuobjdump/nvdisasm workflow.
+        self.sass.lock().push(disasm::module(module));
+    }
+    fn device_call(&mut self, _s: &CallSite<'_>, _t: &mut gpu_sim::ThreadCtx<'_>) {}
+}
+
+#[test]
+fn tools_see_only_decoded_binaries() {
+    let sass = Arc::new(Mutex::new(Vec::new()));
+    let tool = NvBit::new(Spy { sass: Arc::clone(&sass) });
+    let program = workloads::omriq::Omriq { scale: Scale::Test };
+    let out = run_program(&program, RuntimeConfig::default(), Some(Box::new(tool)));
+    assert!(out.termination.is_clean());
+    let listings = sass.lock();
+    assert_eq!(listings.len(), 1, "one module loaded");
+    assert!(listings[0].contains("mriq_phimag"));
+    assert!(listings[0].contains("MUFU"), "disassembly shows real instructions");
+}
+
+#[test]
+fn module_binaries_round_trip_for_every_suite_kernel() {
+    // Encode→decode is lossless for every kernel every program ships.
+    struct Capture {
+        bytes: Arc<Mutex<Vec<Vec<u8>>>>,
+    }
+    impl NvBitTool for Capture {
+        fn on_module_load(&mut self, module: &gpu_isa::Module) {
+            self.bytes.lock().push(encode::encode_module(module));
+        }
+        fn device_call(&mut self, _s: &CallSite<'_>, _t: &mut gpu_sim::ThreadCtx<'_>) {}
+    }
+    for entry in workloads::suite(Scale::Test) {
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let tool = NvBit::new(Capture { bytes: Arc::clone(&bytes) });
+        let out = run_program(entry.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
+        assert!(out.termination.is_clean(), "{}", entry.name);
+        for blob in bytes.lock().iter() {
+            let module = encode::decode_module(blob).expect("decode");
+            let re = encode::encode_module(&module);
+            assert_eq!(&re, blob, "{}: binary round-trip", entry.name);
+            for kernel in module.kernels() {
+                // Disassembly works for every kernel and mentions each
+                // instruction index…
+                let text = disasm::kernel(kernel);
+                assert!(text.contains(&format!("/*{:04}*/", kernel.len() - 1)));
+                // …and the text assembler reproduces the kernel exactly —
+                // the cuobjdump→edit→reassemble loop closes.
+                let reparsed = asm_text::parse_kernel(&text)
+                    .unwrap_or_else(|e| panic!("{}: {}: {e}", entry.name, kernel.name()));
+                assert_eq!(&reparsed, kernel, "{}: {}", entry.name, kernel.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn instruction_inspection_matches_raw_instructions() {
+    let kernel = workloads::kernels::saxpy_f32("k");
+    for (pc, raw) in kernel.instrs().iter().enumerate() {
+        let view = InstrView::new(pc as u32, raw);
+        assert_eq!(view.opcode(), raw.op);
+        assert_eq!(view.gpr_dests(), raw.gpr_dests());
+        assert_eq!(view.has_dest(), raw.has_dest());
+        assert!(view.sass().contains(raw.op.mnemonic()));
+    }
+}
+
+#[test]
+fn corrupt_binaries_are_rejected_at_load() {
+    struct BadLoader;
+    impl Program for BadLoader {
+        fn name(&self) -> &str {
+            "bad-loader"
+        }
+        fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+            let kernel = workloads::kernels::copy_f32("c");
+            let mut bytes = encode::encode_module(&gpu_isa::Module::new("m", vec![kernel]));
+            let len = bytes.len();
+            bytes.truncate(len - 7); // rip the tail off
+            match rt.load_module(&bytes) {
+                Err(RuntimeError::ModuleLoad(_)) => Ok(()),
+                other => panic!("expected load failure, got {other:?}"),
+            }
+        }
+    }
+    let out = run_program(&BadLoader, RuntimeConfig::default(), None);
+    assert!(out.termination.is_clean());
+}

@@ -1,0 +1,88 @@
+//! Reproducibility guarantees: fault sites are deterministic functions of
+//! the seed, and a fault site names the same architectural event on every
+//! run — the property that makes `<kernel, instance, instruction>` tuples
+//! meaningful at all.
+
+use nvbitfi::{
+    run_transient_campaign, select_campaign, BitFlipModel, CampaignConfig, InstrGroup,
+    ProfilingMode, TransientInjector,
+};
+use gpu_runtime::{run_program, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::Scale;
+
+#[test]
+fn same_seed_same_campaign() {
+    let program = workloads::omriq::Omriq { scale: Scale::Test };
+    let check = workloads::omriq::Omriq::check();
+    let cfg = CampaignConfig {
+        injections: 15,
+        seed: 0xABCD,
+        workers: 4,
+        profiling: ProfilingMode::Exact,
+        ..CampaignConfig::default()
+    };
+    let a = run_transient_campaign(&program, &check, &cfg).expect("campaign a");
+    let b = run_transient_campaign(&program, &check, &cfg).expect("campaign b");
+    assert_eq!(a.counts, b.counts);
+    for (ra, rb) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(ra.params, rb.params);
+        assert_eq!(ra.outcome, rb.outcome);
+        assert_eq!(ra.injected, rb.injected);
+    }
+}
+
+#[test]
+fn different_seeds_select_different_sites() {
+    let program = workloads::omriq::Omriq { scale: Scale::Test };
+    let profile = nvbitfi::profile_program(&program, RuntimeConfig::default(), ProfilingMode::Exact)
+        .expect("profile");
+    let mut r1 = StdRng::seed_from_u64(1);
+    let mut r2 = StdRng::seed_from_u64(2);
+    let s1 = select_campaign(&profile, InstrGroup::GpPr, BitFlipModel::FlipSingleBit, 20, &mut r1)
+        .expect("sites");
+    let s2 = select_campaign(&profile, InstrGroup::GpPr, BitFlipModel::FlipSingleBit, 20, &mut r2)
+        .expect("sites");
+    assert_ne!(s1, s2);
+}
+
+#[test]
+fn a_fault_site_names_the_same_event_every_time() {
+    // Inject the same site twice; the injector must corrupt the same
+    // register of the same thread at the same pc with the same old value.
+    let program = workloads::md::Md { scale: Scale::Test };
+    let profile = nvbitfi::profile_program(&program, RuntimeConfig::default(), ProfilingMode::Exact)
+        .expect("profile");
+    let mut rng = StdRng::seed_from_u64(33);
+    let params = nvbitfi::select_transient(
+        &profile,
+        InstrGroup::Fp64,
+        BitFlipModel::FlipTwoBits,
+        &mut rng,
+    )
+    .expect("site");
+
+    let observe = || {
+        let (tool, handle) = TransientInjector::new(params.clone());
+        let out = run_program(&program, RuntimeConfig::default(), Some(Box::new(tool)));
+        (handle.get(), out.stdout, out.files)
+    };
+    let (rec_a, stdout_a, files_a) = observe();
+    let (rec_b, stdout_b, files_b) = observe();
+    assert!(rec_a.injected, "FP64 site must be reachable under exact profiling");
+    assert_eq!(rec_a, rec_b, "identical architectural event");
+    assert_eq!(stdout_a, stdout_b, "identical propagation");
+    assert_eq!(files_a, files_b);
+}
+
+#[test]
+fn golden_runs_are_bit_identical() {
+    for entry in workloads::suite(Scale::Test).into_iter().take(5) {
+        let a = run_program(entry.program.as_ref(), RuntimeConfig::default(), None);
+        let b = run_program(entry.program.as_ref(), RuntimeConfig::default(), None);
+        assert_eq!(a.stdout, b.stdout, "{}", entry.name);
+        assert_eq!(a.files, b.files, "{}", entry.name);
+        assert_eq!(a.summary.dyn_instrs, b.summary.dyn_instrs, "{}", entry.name);
+    }
+}

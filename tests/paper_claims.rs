@@ -1,0 +1,160 @@
+//! Qualitative claims from the paper's evaluation, checked at test scale:
+//! overhead ordering, permanent-vs-transient masking, profile pruning, and
+//! the selective-instrumentation property.
+
+use gpu_runtime::{run_program, RuntimeConfig};
+use nvbitfi::{
+    run_permanent_campaign, run_transient_campaign, profile_program, CampaignConfig,
+    PermanentCampaignConfig, ProfilingMode, Profiler, TransientInjector,
+};
+use workloads::Scale;
+
+/// Simulated-cycle cost of a run under a given tool.
+fn cycles_with(tool: Option<Box<dyn gpu_runtime::Tool>>) -> u64 {
+    let program = workloads::seismic::Seismic { scale: Scale::Test };
+    let out = run_program(&program, RuntimeConfig::default(), tool);
+    assert!(out.termination.is_clean());
+    out.summary.cycles
+}
+
+#[test]
+fn overhead_ordering_exact_gt_approx_gt_injection_gt_plain() {
+    // Figure 4's shape, in simulated cycles (host-noise-free): exact
+    // profiling instruments every dynamic kernel; approximate only first
+    // instances; the injector only one dynamic kernel.
+    let plain = cycles_with(None);
+
+    let (exact, _h) = Profiler::new(ProfilingMode::Exact);
+    let exact_cycles = cycles_with(Some(Box::new(exact)));
+
+    let (approx, _h) = Profiler::new(ProfilingMode::Approximate);
+    let approx_cycles = cycles_with(Some(Box::new(approx)));
+
+    // Target an FP32 *value* so the run completes cleanly (a pointer hit
+    // would be a DUE, which is fine for campaigns but not for this timing
+    // comparison).
+    let params = nvbitfi::TransientParams {
+        group: nvbitfi::InstrGroup::Fp32,
+        bit_flip: nvbitfi::BitFlipModel::FlipSingleBit,
+        kernel_name: "seis_step".into(),
+        kernel_count: 1,
+        instruction_count: 5,
+        destination_register: 0.9,
+        bit_pattern: 0.05,
+    };
+    let (inj, _h) = TransientInjector::new(params);
+    let inj_cycles = cycles_with(Some(Box::new(inj)));
+
+    assert!(
+        exact_cycles > approx_cycles,
+        "exact profiling must cost more than approximate: {exact_cycles} vs {approx_cycles}"
+    );
+    assert!(
+        approx_cycles > inj_cycles,
+        "profiling must cost more than one-kernel injection: {approx_cycles} vs {inj_cycles}"
+    );
+    assert!(inj_cycles > plain, "injection still instruments one kernel: {inj_cycles} vs {plain}");
+    // And the paper's headline gap: exact profiling is *much* more
+    // expensive than injection.
+    assert!(exact_cycles as f64 / inj_cycles as f64 > 1.5);
+}
+
+#[test]
+fn permanent_faults_mask_less_than_transient() {
+    // §IV-B: "Masked outcomes constitute 57.6% for transient faults but
+    // only 17.4% for permanent faults." Check the direction on a program
+    // with real arithmetic depth.
+    let program = workloads::ostencil::Ostencil { scale: Scale::Test };
+    let check = workloads::ostencil::Ostencil::check();
+
+    let t = run_transient_campaign(
+        &program,
+        &check,
+        &CampaignConfig {
+            injections: 40,
+            seed: 9,
+            workers: 2,
+            profiling: ProfilingMode::Exact,
+            // Single-bit flips in FP32 values: the transient case that masks
+            // often. (G_GPPR campaigns at tiny test scale are dominated by
+            // pointer loads, which understates transient masking.)
+            group: nvbitfi::InstrGroup::Fp32,
+            ..CampaignConfig::default()
+        },
+    )
+    .expect("transient");
+    let p = run_permanent_campaign(
+        &program,
+        &check,
+        &PermanentCampaignConfig { seed: 9, workers: 2, ..Default::default() },
+    )
+    .expect("permanent");
+
+    let (_, _, transient_masked) = t.counts.fractions();
+    assert!(
+        p.weighted.masked < transient_masked,
+        "permanent faults activate repeatedly and should mask less: {} vs {}",
+        p.weighted.masked,
+        transient_masked
+    );
+}
+
+#[test]
+fn profile_prunes_unused_opcodes() {
+    // §IV-C: permanent experiments can be skipped for unused opcodes; the
+    // programs execute a small fraction of the 171-opcode ISA.
+    let program = workloads::ilbdc::Ilbdc { scale: Scale::Test };
+    let profile = profile_program(&program, RuntimeConfig::default(), ProfilingMode::Approximate)
+        .expect("profile");
+    let executed = profile.executed_opcodes();
+    assert!(executed.len() < 171 / 2, "executed {} opcodes", executed.len());
+    assert!(!executed.is_empty());
+    // The permanent campaign runs exactly that many experiments.
+    let check = workloads::ilbdc::Ilbdc::check();
+    let result = run_permanent_campaign(
+        &program,
+        &check,
+        &PermanentCampaignConfig { seed: 1, workers: 2, ..Default::default() },
+    )
+    .expect("campaign");
+    assert_eq!(result.runs.len(), executed.len());
+}
+
+#[test]
+fn injection_instruments_only_the_target_kernel() {
+    // The discussion section's key property: "NVBitFI can limit
+    // instrumentation needed for fault injection to the dynamic instance of
+    // the target kernel. Non-target instances of the same static kernel
+    // execute unmodified."
+    let program = workloads::ostencil::Ostencil { scale: Scale::Test };
+    // Fp32 target: value corruption only, so no sticky error cuts the run
+    // short and every launch is observed.
+    let params = nvbitfi::TransientParams {
+        group: nvbitfi::InstrGroup::Fp32,
+        bit_flip: nvbitfi::BitFlipModel::FlipSingleBit,
+        kernel_name: "stencil_step".into(),
+        kernel_count: 7,
+        instruction_count: 3,
+        destination_register: 0.5,
+        bit_pattern: 0.5,
+    };
+    let (tool, _handle) = TransientInjector::new(params);
+    let stats = tool.stats_handle();
+    let out = run_program(&program, RuntimeConfig::default(), Some(Box::new(tool)));
+    // The corrupted value may or may not be an SDC; the run completes.
+    let _ = out;
+    let s = *stats.lock();
+    assert_eq!(s.kernels_instrumented, 1, "only the target static kernel is JIT-instrumented: {s:?}");
+    assert_eq!(s.launches_instrumented, 1, "only the target dynamic instance pays");
+    // 11 launches at Test scale: 9 non-target stencil instances plus the
+    // final_copy (empty instrumentation) run unmodified.
+    assert_eq!(s.launches_unmodified, 10, "{s:?}");
+    assert_eq!(s.launches_instrumented + s.launches_unmodified, 11, "{s:?}");
+}
+
+#[test]
+fn statistical_guidance_matches_paper() {
+    // §IV-B's two calibration sentences.
+    assert!((nvbitfi::stats::error_margin(100, 0.90) - 0.082).abs() < 0.004);
+    assert!((nvbitfi::stats::error_margin(1000, 0.95) - 0.031).abs() < 0.002);
+}

@@ -1,0 +1,260 @@
+//! Property-based tests over core data structures and invariants.
+
+use gpu_isa::{
+    encode, AtomOp, BoolOp, CmpOp, Dst, Guard, Instr, Kernel, MemRef, MemWidth, Modifier, Module,
+    MufuFunc, Opcode, Operand, PReg, Reg, RoundMode, ShflMode, Space, SpecialReg,
+};
+use nvbitfi::{BitFlipModel, InstrGroup, KernelProfile, Profile, ProfilingMode};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    any::<u8>().prop_map(Reg)
+}
+
+fn arb_preg() -> impl Strategy<Value = PReg> {
+    (0u8..8).prop_map(PReg)
+}
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    (0..gpu_isa::OPCODE_COUNT).prop_map(|i| Opcode::ALL[i])
+}
+
+fn arb_space() -> impl Strategy<Value = Space> {
+    prop_oneof![
+        Just(Space::Global),
+        Just(Space::Shared),
+        Just(Space::Local),
+        Just(Space::Const)
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        Just(Operand::None),
+        arb_reg().prop_map(Operand::R),
+        arb_reg().prop_map(Operand::R64),
+        arb_preg().prop_map(Operand::P),
+        arb_preg().prop_map(Operand::NotP),
+        any::<u32>().prop_map(Operand::Imm),
+        (arb_reg(), any::<i16>(), arb_space())
+            .prop_map(|(base, offset, space)| Operand::Mem(MemRef { base, offset, space })),
+        (0usize..SpecialReg::ALL.len()).prop_map(|i| Operand::Sr(SpecialReg::ALL[i])),
+    ]
+}
+
+fn arb_dst() -> impl Strategy<Value = Dst> {
+    prop_oneof![
+        Just(Dst::None),
+        arb_reg().prop_map(Dst::R),
+        arb_reg().prop_map(Dst::R64),
+        arb_preg().prop_map(Dst::P),
+    ]
+}
+
+fn arb_modifier() -> impl Strategy<Value = Modifier> {
+    prop_oneof![
+        Just(Modifier::None),
+        (0usize..CmpOp::ALL.len()).prop_map(|i| Modifier::Cmp(CmpOp::ALL[i])),
+        (0usize..CmpOp::ALL.len(), 0usize..BoolOp::ALL.len())
+            .prop_map(|(c, b)| Modifier::CmpBool(CmpOp::ALL[c], BoolOp::ALL[b])),
+        (0usize..MemWidth::ALL.len()).prop_map(|i| Modifier::Width(MemWidth::ALL[i])),
+        (0usize..MufuFunc::ALL.len()).prop_map(|i| Modifier::Func(MufuFunc::ALL[i])),
+        (0usize..RoundMode::ALL.len()).prop_map(|i| Modifier::Round(RoundMode::ALL[i])),
+        any::<u8>().prop_map(Modifier::Lut),
+        (0usize..ShflMode::ALL.len()).prop_map(|i| Modifier::Shfl(ShflMode::ALL[i])),
+        (0usize..AtomOp::ALL.len()).prop_map(|i| Modifier::AtomOp(AtomOp::ALL[i])),
+    ]
+}
+
+fn arb_guard() -> impl Strategy<Value = Guard> {
+    (arb_preg(), any::<bool>()).prop_map(|(pred, negated)| Guard { pred, negated })
+}
+
+prop_compose! {
+    fn arb_instr()(
+        op in arb_opcode(),
+        guard in arb_guard(),
+        modifier in arb_modifier(),
+        d0 in arb_dst(),
+        d1 in arb_dst(),
+        s0 in arb_operand(),
+        s1 in arb_operand(),
+        s2 in arb_operand(),
+        s3 in arb_operand(),
+    ) -> Instr {
+        let mut i = Instr::new(op);
+        i.guard = guard;
+        i.modifier = modifier;
+        i.dsts = [d0, d1];
+        i.srcs = [s0, s1, s2, s3];
+        // branch targets are resolved separately; keep 0 so Kernel::new
+        // validation passes for any instruction count
+        i.target = 0;
+        i
+    }
+}
+
+proptest! {
+    #[test]
+    fn instruction_encoding_roundtrips(instr in arb_instr()) {
+        let mut buf = bytes::BytesMut::new();
+        encode::encode_instr(&instr, &mut buf);
+        prop_assert_eq!(buf.len(), encode::INSTR_BYTES);
+        let mut bytes = buf.freeze();
+        let back = encode::decode_instr(&mut bytes).expect("decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn module_encoding_roundtrips(instrs in prop::collection::vec(arb_instr(), 1..40)) {
+        let kernel = Kernel::new("k", instrs, 64).expect("kernel");
+        let module = Module::new("m", vec![kernel]);
+        let bytes = encode::encode_module(&module);
+        let back = encode::decode_module(&bytes).expect("decode");
+        prop_assert_eq!(back, module);
+    }
+
+    #[test]
+    fn truncated_modules_never_panic(instrs in prop::collection::vec(arb_instr(), 1..10), cut in any::<prop::sample::Index>()) {
+        let kernel = Kernel::new("k", instrs, 0).expect("kernel");
+        let bytes = encode::encode_module(&Module::new("m", vec![kernel]));
+        let cut = cut.index(bytes.len());
+        // Must return Err, never panic.
+        prop_assert!(encode::decode_module(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bitflip_masks_in_spec(value in 0.0f64..1.0, original: u32) {
+        // FLIP_SINGLE_BIT: exactly one bit.
+        prop_assert_eq!(BitFlipModel::FlipSingleBit.mask(value, original).count_ones(), 1);
+        // FLIP_TWO_BITS: exactly two adjacent bits.
+        let two = BitFlipModel::FlipTwoBits.mask(value, original);
+        prop_assert_eq!(two.count_ones(), 2);
+        prop_assert_eq!(two >> two.trailing_zeros(), 0b11);
+        // ZERO_VALUE: corruption yields zero.
+        prop_assert_eq!(BitFlipModel::ZeroValue.corrupt(value, original), 0);
+        // Corruption is an involution for XOR-mask models.
+        let m = BitFlipModel::FlipSingleBit.mask(value, original);
+        prop_assert_eq!(original ^ m ^ m, original);
+    }
+
+    #[test]
+    fn groups_partition_and_derive(op in arb_opcode()) {
+        let base: usize = InstrGroup::ALL[..6].iter().filter(|g| g.contains(op)).count();
+        prop_assert_eq!(base, 1);
+        prop_assert_eq!(InstrGroup::GpPr.contains(op), !InstrGroup::NoDest.contains(op));
+        prop_assert_eq!(
+            InstrGroup::Gp.contains(op),
+            !InstrGroup::NoDest.contains(op) && !InstrGroup::Pr.contains(op)
+        );
+    }
+
+    #[test]
+    fn profile_locate_is_a_bijection(
+        counts in prop::collection::vec((0u64..60, 0u64..60, 0u64..60), 1..8)
+    ) {
+        // Build a profile with arbitrary FADD/LDG/EXIT counts per kernel.
+        let kernels: Vec<KernelProfile> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, (fadd, ldg, exit))| {
+                let mut c = BTreeMap::new();
+                if *fadd > 0 { c.insert(Opcode::FADD, *fadd); }
+                if *ldg > 0 { c.insert(Opcode::LDG, *ldg); }
+                if *exit > 0 { c.insert(Opcode::EXIT, *exit); }
+                KernelProfile { kernel: format!("k{i}"), instance: 0, counts: c }
+            })
+            .collect();
+        let profile = Profile { mode: ProfilingMode::Exact, kernels };
+        let group = InstrGroup::Gp; // FADD + LDG
+        let total = profile.total_in_group(group);
+        // Every n < total maps to a site with a within-kernel index smaller
+        // than that kernel's group population; n == total maps to None.
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..total {
+            let site = profile.locate(group, n).expect("in range");
+            let k = profile
+                .kernels
+                .iter()
+                .find(|k| k.kernel == site.kernel && k.instance == site.kernel_count)
+                .expect("kernel exists");
+            prop_assert!(site.instruction_count < k.total_in_group(group));
+            seen.insert((site.kernel.clone(), site.kernel_count, site.instruction_count));
+        }
+        prop_assert_eq!(seen.len() as u64, total, "distinct sites");
+        prop_assert_eq!(profile.locate(group, total), None);
+    }
+
+    #[test]
+    fn profile_file_roundtrips(
+        counts in prop::collection::vec((0u64..1000, 0u64..1000), 1..6),
+        approx in any::<bool>(),
+    ) {
+        let kernels: Vec<KernelProfile> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let mut c = BTreeMap::new();
+                if *a > 0 { c.insert(Opcode::DFMA, *a); }
+                if *b > 0 { c.insert(Opcode::ISETP, *b); }
+                KernelProfile { kernel: format!("kern_{i}"), instance: i as u64, counts: c }
+            })
+            .collect();
+        let profile = Profile {
+            mode: if approx { ProfilingMode::Approximate } else { ProfilingMode::Exact },
+            kernels,
+        };
+        let text = profile.to_file();
+        prop_assert_eq!(Profile::from_file(&text).expect("parse"), profile);
+    }
+
+    #[test]
+    fn regfile_pairs_compose(lo: u32, hi: u32, base in (0u8..250).prop_map(|v| v & !1)) {
+        let mut rf = gpu_sim::RegFile::new();
+        let r = Reg(base);
+        rf.write(r, lo);
+        rf.write(r.pair_hi(), hi);
+        prop_assert_eq!(rf.read64(r), (lo as u64) | ((hi as u64) << 32));
+        let v = f64::from_bits(rf.read64(r));
+        rf.write_f64(r, v);
+        prop_assert_eq!(rf.read(r), lo);
+        prop_assert_eq!(rf.read(r.pair_hi()), hi);
+    }
+
+    #[test]
+    fn guards_encode_roundtrip(guard in arb_guard()) {
+        prop_assert_eq!(Guard::decode(guard.encode()), guard);
+    }
+
+    #[test]
+    fn builder_kernels_roundtrip_through_listings(ops in prop::collection::vec((0u8..12, 0u8..16, 0u8..16, 0u8..16, any::<i16>()), 1..30)) {
+        // Random straight-line builder programs survive
+        // disasm → parse exactly.
+        use gpu_isa::asm::KernelBuilder;
+        use gpu_isa::{asm_text, disasm, CmpOp, MufuFunc};
+        let mut k = KernelBuilder::new("fuzz");
+        for (sel, a, b, c, imm) in ops {
+            let (ra, rb, rc) = (Reg(a), Reg(b), Reg(c));
+            match sel {
+                0 => { k.fadd(ra, rb, rc); }
+                1 => { k.imad(ra, rb, rc, Reg(a ^ 1)); }
+                2 => { k.movi(ra, imm as u32); }
+                3 => { k.ldg(ra, rb, imm & 0x3FF); }
+                4 => { k.stg(ra, imm & 0x3FF, rb); }
+                5 => { k.isetp(PReg(a & 7), CmpOp::ALL[(b % 6) as usize], rc, imm as i32); }
+                6 => { k.mufu(MufuFunc::ALL[(b % 7) as usize], ra, rc); }
+                7 => { k.lds(ra, rb, (imm & 0xFF).abs() as i16); }
+                8 => { k.dfma(ra, rb, rc, Reg(a.wrapping_add(2))); }
+                9 => { k.shli(ra, rb, (c & 31) as u32); }
+                10 => { k.and(ra, rb, rc); }
+                _ => { k.nop(); }
+            }
+        }
+        k.exit();
+        let kernel = k.finish();
+        let listing = disasm::kernel(&kernel);
+        let back = asm_text::parse_kernel(&listing).expect("parse own listing");
+        prop_assert_eq!(back, kernel);
+    }
+}
