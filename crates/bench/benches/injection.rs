@@ -36,10 +36,13 @@ fn bench_module_decode(c: &mut Criterion) {
 
 fn bench_site_selection(c: &mut Criterion) {
     // A profile with many dynamic kernels, as a long-running app would have.
-    let counts: std::collections::BTreeMap<gpu_isa::Opcode, u64> =
-        [(gpu_isa::Opcode::FADD, 1000u64), (gpu_isa::Opcode::LDG, 400), (gpu_isa::Opcode::EXIT, 32)]
-            .into_iter()
-            .collect();
+    let counts: std::collections::BTreeMap<gpu_isa::Opcode, u64> = [
+        (gpu_isa::Opcode::FADD, 1000u64),
+        (gpu_isa::Opcode::LDG, 400),
+        (gpu_isa::Opcode::EXIT, 32),
+    ]
+    .into_iter()
+    .collect();
     let profile = Profile {
         mode: nvbitfi::ProfilingMode::Exact,
         kernels: (0..1000)

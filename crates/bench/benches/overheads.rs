@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_runtime::{run_program, RuntimeConfig};
-use nvbitfi::{BitFlipModel, InstrGroup, Profiler, ProfilingMode, TransientInjector, TransientParams};
+use nvbitfi::{
+    BitFlipModel, InstrGroup, Profiler, ProfilingMode, TransientInjector, TransientParams,
+};
 use workloads::Scale;
 
 fn program() -> workloads::ostencil::Ostencil {

@@ -18,10 +18,8 @@ fn main() {
     let check = entry.check.as_ref();
 
     let golden = golden_run(program, RuntimeConfig::default()).expect("golden");
-    let cfg = RuntimeConfig {
-        instr_budget: Some(golden.suggested_budget()),
-        ..RuntimeConfig::default()
-    };
+    let cfg =
+        RuntimeConfig { instr_budget: Some(golden.suggested_budget()), ..RuntimeConfig::default() };
 
     let trials = 24usize;
     println!(
@@ -47,16 +45,14 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(args.seed);
         for t in 0..trials {
             let activation = match pattern {
-                Some(p) => {
-                    ActivationPattern::Random { prob: p, seed: args.seed ^ (t as u64) }
-                }
+                Some(p) => ActivationPattern::Random { prob: p, seed: args.seed ^ (t as u64) },
                 None => ActivationPattern::Always,
             };
             let fault = ExtFault {
                 opcodes: vec![gpu_isa::Opcode::FADD],
                 sm_id: rng.gen_range(0..6),
                 lane_id: rng.gen_range(0..16),
-                corruption: CorruptionFn::Xor(1 << rng.gen_range(0..32)),
+                corruption: CorruptionFn::Xor(1u32 << rng.gen_range(0u32..32)),
                 activation,
             };
             let (tool, handle) = ExtInjector::new(fault);

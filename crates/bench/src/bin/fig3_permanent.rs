@@ -8,7 +8,10 @@ use nvbitfi::{report, run_permanent_campaign};
 
 fn main() {
     let args = bench::BenchArgs::from_env();
-    println!("FIGURE 3 — permanent-fault outcomes, weighted by opcode dynamic count (seed {:#x})\n", args.seed);
+    println!(
+        "FIGURE 3 — permanent-fault outcomes, weighted by opcode dynamic count (seed {:#x})\n",
+        args.seed
+    );
 
     let mut rows = vec![vec![
         "Program".to_string(),
@@ -21,12 +24,9 @@ fn main() {
     let (mut wsdc, mut wdue, mut wmask) = (0.0, 0.0, 0.0);
     let mut n = 0usize;
     for entry in args.programs() {
-        let c = run_permanent_campaign(
-            entry.program.as_ref(),
-            entry.check.as_ref(),
-            &args.permanent(),
-        )
-        .expect("permanent campaign");
+        let c =
+            run_permanent_campaign(entry.program.as_ref(), entry.check.as_ref(), &args.permanent())
+                .expect("permanent campaign");
         let activations: u64 = c.runs.iter().map(|r| r.activations).sum();
         rows.push(vec![
             entry.name.to_string(),

@@ -28,7 +28,11 @@ struct Measure {
     wall: std::time::Duration,
 }
 
-fn measure(program: &dyn gpu_runtime::Program, cfg: &RuntimeConfig, tool: Option<Box<dyn Tool>>) -> Measure {
+fn measure(
+    program: &dyn gpu_runtime::Program,
+    cfg: &RuntimeConfig,
+    tool: Option<Box<dyn Tool>>,
+) -> Measure {
     let t = Instant::now();
     let out = run_program(program, cfg.clone(), tool);
     Measure { cycles: out.summary.cycles.max(1), wall: t.elapsed() }

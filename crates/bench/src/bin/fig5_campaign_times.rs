@@ -27,12 +27,9 @@ fn main() {
             &args.campaign(ProfilingMode::Approximate),
         )
         .expect("transient campaign");
-        let permanent = run_permanent_campaign(
-            entry.program.as_ref(),
-            entry.check.as_ref(),
-            &args.permanent(),
-        )
-        .expect("permanent campaign");
+        let permanent =
+            run_permanent_campaign(entry.program.as_ref(), entry.check.as_ref(), &args.permanent())
+                .expect("permanent campaign");
         let t = transient.timing.total();
         let p = permanent.total_time();
         rows.push(vec![

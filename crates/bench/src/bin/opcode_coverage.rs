@@ -3,8 +3,8 @@
 //! 41 opcodes per program (out of the total possible 171)", which is what
 //! makes profile-pruned permanent campaigns cheap.
 
-use gpu_runtime::RuntimeConfig;
 use gpu_isa::InstrClass;
+use gpu_runtime::RuntimeConfig;
 use nvbitfi::{profile_program, ProfilingMode};
 use std::collections::BTreeSet;
 

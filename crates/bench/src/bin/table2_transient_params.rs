@@ -19,7 +19,12 @@ fn main() {
         let members: Vec<&str> =
             Opcode::ALL.iter().filter(|o| g.contains(**o)).map(|o| o.mnemonic()).collect();
         let sample = members.iter().take(4).cloned().collect::<Vec<_>>().join(" ");
-        rows.push(vec![g.id().to_string(), g.name().to_string(), members.len().to_string(), sample]);
+        rows.push(vec![
+            g.id().to_string(),
+            g.name().to_string(),
+            members.len().to_string(),
+            sample,
+        ]);
     }
     print!("{}", nvbitfi::report::table(&rows));
 

@@ -18,14 +18,8 @@ fn main() {
     ]];
     for entry in args.programs() {
         let out = run_program(entry.program.as_ref(), RuntimeConfig::default(), None);
-        assert!(
-            out.termination.is_clean(),
-            "golden run of {} failed: {}",
-            entry.name,
-            out.stdout
-        );
-        let statics: BTreeSet<_> =
-            out.summary.launches.iter().map(|l| l.kernel.clone()).collect();
+        assert!(out.termination.is_clean(), "golden run of {} failed: {}", entry.name, out.stdout);
+        let statics: BTreeSet<_> = out.summary.launches.iter().map(|l| l.kernel.clone()).collect();
         rows.push(vec![
             entry.name.to_string(),
             entry.description.to_string(),

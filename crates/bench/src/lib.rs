@@ -40,9 +40,9 @@ impl BenchArgs {
         BenchArgs {
             injections: get("NVBITFI_INJECTIONS").and_then(|v| v.parse().ok()).unwrap_or(100),
             seed: get("NVBITFI_SEED").and_then(|v| v.parse().ok()).unwrap_or(0x5EED),
-            workers: get("NVBITFI_WORKERS")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
+            workers: get("NVBITFI_WORKERS").and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }),
             scale: match get("NVBITFI_SCALE").as_deref() {
                 Some("test") => Scale::Test,
                 _ => Scale::Paper,

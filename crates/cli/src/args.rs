@@ -2,11 +2,15 @@
 
 use std::collections::HashMap;
 
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["no-checkpoint"];
+
 /// Parsed command-line: positionals plus `--key value` options.
 #[derive(Debug, Default)]
 pub struct Args {
     positional: Vec<String>,
     options: HashMap<String, String>,
+    switches: Vec<String>,
 }
 
 impl Args {
@@ -20,15 +24,22 @@ impl Args {
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} requires a value"))?;
+                if SWITCHES.contains(&key) {
+                    args.switches.push(key.to_string());
+                    continue;
+                }
+                let value = it.next().ok_or_else(|| format!("flag --{key} requires a value"))?;
                 args.options.insert(key.to_string(), value.clone());
             } else {
                 args.positional.push(a.clone());
             }
         }
         Ok(args)
+    }
+
+    /// Whether a valueless `--switch` was present.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
     }
 
     /// The `i`-th positional argument.
@@ -101,6 +112,14 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(Args::parse(&sv(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse(&sv(&["prog", "--no-checkpoint", "--seed", "7"])).expect("parse");
+        assert!(a.switch("no-checkpoint"));
+        assert_eq!(a.get_or("seed", 0u64).expect("seed"), 7);
+        assert!(!Args::parse(&sv(&["prog"])).expect("parse").switch("no-checkpoint"));
     }
 
     #[test]

@@ -5,10 +5,9 @@ use gpu_isa::disasm;
 use gpu_runtime::{run_program, RuntimeConfig};
 use nvbit::{CallSite, NvBit, NvBitTool};
 use nvbitfi::{
-    classify, golden_run, report, run_permanent_campaign, run_transient_campaign,
-    select_transient, stats, BitFlipModel, CampaignConfig, InstrGroup, PermanentCampaignConfig,
-    PermanentInjector, PermanentParams, Profile, ProfilingMode, TransientInjector,
-    TransientParams,
+    classify, golden_run, report, run_permanent_campaign, run_transient_campaign, select_transient,
+    stats, BitFlipModel, CampaignConfig, InstrGroup, PermanentCampaignConfig, PermanentInjector,
+    PermanentParams, Profile, ProfilingMode, TransientInjector, TransientParams,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -25,7 +24,7 @@ commands:
   select <prog> --profile FILE [--group ID] [--bitflip ID] [--seed S] [--count N] [--out FILE]
   inject <prog> --params FILE [--scale paper|test]
   run-list <prog> --list FILE [--log FILE]
-  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE]
+  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--no-checkpoint]
   pf <prog> --opcode MNEMONIC [--sm N] [--lane N] [--mask HEX]
   pf-campaign <prog> [--seed S]
   disasm <prog>
@@ -196,6 +195,7 @@ fn run_list(args: &Args) -> Result<(), String> {
             outcome,
             injected: handle.get().injected,
             wall: t.elapsed(),
+            prefix_instrs_skipped: out.prefix_instrs_skipped,
         });
     }
     println!("{counts}");
@@ -249,16 +249,14 @@ fn campaign(args: &Args) -> Result<(), String> {
         group: group(args)?,
         bit_flip: bitflip(args)?,
         profiling: mode(args)?,
+        use_checkpoints: !args.switch("no-checkpoint"),
         ..CampaignConfig::default()
     };
     println!("running {} transient injections into {} …", cfg.injections, e.name);
     let result = run_transient_campaign(e.program.as_ref(), e.check.as_ref(), &cfg)
         .map_err(|err| err.to_string())?;
     println!("{}", report::transient_summary(&result));
-    println!(
-        "90% confidence margin: ±{:.1}%",
-        stats::error_margin(cfg.injections, 0.90) * 100.0
-    );
+    println!("90% confidence margin: ±{:.1}%", stats::error_margin(cfg.injections, 0.90) * 100.0);
     if let Some(log_path) = args.get("log") {
         std::fs::write(log_path, nvbitfi::logfile::write_results_log(&result))
             .map_err(|err| err.to_string())?;
@@ -330,16 +328,20 @@ fn trace(args: &Args) -> Result<(), String> {
 
     let (tool, hist) = nvbit::tools::OpcodeHistogram::new();
     run_program(e.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
-    println!("
-opcode_hist (top {top}):");
+    println!(
+        "
+opcode_hist (top {top}):"
+    );
     for (op, n) in hist.get().hottest().into_iter().take(top) {
         println!("  {:<10} {n}", op.mnemonic());
     }
 
     let (tool, trace) = nvbit::tools::MemTracer::new(mem_n);
     run_program(e.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
-    println!("
-mem_trace (first {mem_n} accesses):");
+    println!(
+        "
+mem_trace (first {mem_n} accesses):"
+    );
     for a in trace.get() {
         println!(
             "  {} pc {:>3} tid {:>4} {} {:#010x}",

@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn nvbitfi(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_nvbitfi"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_nvbitfi")).args(args).output().expect("binary runs")
 }
 
 fn stdout(o: &Output) -> String {
@@ -111,16 +108,8 @@ fn profile_select_inject_pipeline() {
 
 #[test]
 fn campaign_runs_and_reports_ci() {
-    let o = nvbitfi(&[
-        "campaign",
-        "314.omriq",
-        "--scale",
-        "test",
-        "--injections",
-        "10",
-        "--seed",
-        "3",
-    ]);
+    let o =
+        nvbitfi(&["campaign", "314.omriq", "--scale", "test", "--injections", "10", "--seed", "3"]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
     let out = stdout(&o);
     assert!(out.contains("10 injections"), "{out}");
@@ -165,23 +154,40 @@ fn split_campaign_via_list_and_log() {
     let log_path = tmp("split-log.txt");
 
     let o = nvbitfi(&[
-        "profile", "314.omriq", "--scale", "test", "--out",
+        "profile",
+        "314.omriq",
+        "--scale",
+        "test",
+        "--out",
         profile_path.to_str().expect("utf8"),
     ]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
 
     let o = nvbitfi(&[
-        "select", "314.omriq", "--profile", profile_path.to_str().expect("utf8"),
-        "--count", "8", "--seed", "17", "--out", list_path.to_str().expect("utf8"),
+        "select",
+        "314.omriq",
+        "--profile",
+        profile_path.to_str().expect("utf8"),
+        "--count",
+        "8",
+        "--seed",
+        "17",
+        "--out",
+        list_path.to_str().expect("utf8"),
     ]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
     let list = std::fs::read_to_string(&list_path).expect("list");
     assert_eq!(list.lines().filter(|l| !l.starts_with('#')).count(), 8);
 
     let o = nvbitfi(&[
-        "run-list", "314.omriq", "--scale", "test",
-        "--list", list_path.to_str().expect("utf8"),
-        "--log", log_path.to_str().expect("utf8"),
+        "run-list",
+        "314.omriq",
+        "--scale",
+        "test",
+        "--list",
+        list_path.to_str().expect("utf8"),
+        "--log",
+        log_path.to_str().expect("utf8"),
     ]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
     let log = std::fs::read_to_string(&log_path).expect("log");
@@ -206,8 +212,11 @@ fn disasm_edit_assemble_roundtrip() {
     std::fs::write(&listing_path, stdout(&o)).expect("write listing");
 
     let o = nvbitfi(&[
-        "assemble", "--in", listing_path.to_str().expect("utf8"),
-        "--out", module_path.to_str().expect("utf8"),
+        "assemble",
+        "--in",
+        listing_path.to_str().expect("utf8"),
+        "--out",
+        module_path.to_str().expect("utf8"),
     ]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
     assert!(stdout(&o).contains("2 kernels"), "{}", stdout(&o));

@@ -100,10 +100,7 @@ pub fn combine(groups: &[GroupAvf]) -> Option<AvfEstimate> {
 /// group's share of the profile's dynamic instructions.
 pub fn group_weights(profile: &Profile) -> Vec<(InstrGroup, f64)> {
     let total = profile.total().max(1) as f64;
-    InstrGroup::ALL[..6]
-        .iter()
-        .map(|g| (*g, profile.total_in_group(*g) as f64 / total))
-        .collect()
+    InstrGroup::ALL[..6].iter().map(|g| (*g, profile.total_in_group(*g) as f64 / total)).collect()
 }
 
 #[cfg(test)]
@@ -117,10 +114,8 @@ mod tests {
             counts.add(&Outcome { class: OutcomeClass::Sdc(vec![]), potential_due: false });
         }
         for _ in 0..due_n {
-            counts.add(&Outcome {
-                class: OutcomeClass::Due(DueKind::Timeout),
-                potential_due: false,
-            });
+            counts
+                .add(&Outcome { class: OutcomeClass::Due(DueKind::Timeout), potential_due: false });
         }
         for _ in 0..(n as u64 - sdc_n - due_n) {
             counts.add(&Outcome { class: OutcomeClass::Masked, potential_due: false });

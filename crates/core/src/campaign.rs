@@ -11,7 +11,7 @@
 
 use crate::bitflip::BitFlipModel;
 use crate::error::FiError;
-use crate::golden::{golden_run, GoldenOutput};
+use crate::golden::{golden_run, golden_run_recording, GoldenOutput};
 use crate::igid::InstrGroup;
 use crate::outcome::{classify, Outcome, OutcomeCounts, SdcCheck};
 use crate::params::{PermanentParams, TransientParams};
@@ -19,10 +19,11 @@ use crate::permanent::PermanentInjector;
 use crate::profile::{profile_program, Profile, ProfilingMode};
 use crate::select::select_campaign;
 use crate::transient::TransientInjector;
-use gpu_runtime::{run_program, Program, RuntimeConfig};
+use gpu_runtime::{run_program, run_program_fast_forward, CheckpointStore, Program, RuntimeConfig};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a transient-fault campaign.
@@ -43,6 +44,11 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worker threads for injection runs.
     pub workers: usize,
+    /// When `true` (the default), the golden run records launch-boundary
+    /// checkpoints and every injection run fast-forwards its pre-injection
+    /// prefix from them instead of re-simulating it. `false` reproduces the
+    /// paper's full-replay cost (the `--no-checkpoint` escape hatch).
+    pub use_checkpoints: bool,
 }
 
 impl Default for CampaignConfig {
@@ -55,6 +61,7 @@ impl Default for CampaignConfig {
             profiling: ProfilingMode::Exact,
             seed: 0x5EED,
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            use_checkpoints: true,
         }
     }
 }
@@ -71,6 +78,9 @@ pub struct InjectionRun {
     pub injected: bool,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Dynamic instructions skipped by checkpoint fast-forwarding (0 when
+    /// checkpoints are disabled).
+    pub prefix_instrs_skipped: u64,
 }
 
 /// Wall-clock accounting for overhead analysis (Figures 4 and 5).
@@ -82,6 +92,9 @@ pub struct CampaignTiming {
     pub profiling: Duration,
     /// Durations of the individual injection runs.
     pub injections: Vec<Duration>,
+    /// Total dynamic instructions the injection runs skipped by
+    /// fast-forwarding pre-injection prefixes from checkpoints.
+    pub prefix_instrs_skipped: u64,
 }
 
 impl CampaignTiming {
@@ -127,17 +140,16 @@ fn fan_out<T: Send, R: Send>(
     let input = Mutex::new(todo.into_iter());
     let output: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
     let workers = workers.max(1);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let next = input.lock().next();
                 let Some((idx, item)) = next else { break };
                 let r = f(idx, item);
                 output.lock().push((idx, r));
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     let mut out = output.into_inner();
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, r)| r).collect()
@@ -154,9 +166,17 @@ pub fn run_transient_campaign(
     check: &dyn SdcCheck,
     cfg: &CampaignConfig,
 ) -> Result<TransientCampaign, FiError> {
-    // Step 0: golden run (also calibrates the hang monitor).
+    // Step 0: golden run (also calibrates the hang monitor). With
+    // checkpoints enabled it additionally records the launch-boundary
+    // state every injection run fast-forwards from.
     let t0 = Instant::now();
-    let golden = golden_run(program, cfg.runtime.clone())?;
+    let (golden, checkpoints): (GoldenOutput, Option<Arc<CheckpointStore>>) = if cfg.use_checkpoints
+    {
+        let (g, store) = golden_run_recording(program, cfg.runtime.clone())?;
+        (g, Some(store.into_shared()))
+    } else {
+        (golden_run(program, cfg.runtime.clone())?, None)
+    };
     let golden_wall = t0.elapsed();
     let mut run_cfg = cfg.runtime.clone();
     run_cfg.instr_budget = Some(golden.suggested_budget());
@@ -170,15 +190,53 @@ pub fn run_transient_campaign(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sites = select_campaign(&profile, cfg.group, cfg.bit_flip, cfg.injections, &mut rng)?;
 
-    // Steps 3-4: inject and classify, fanned out over workers.
-    let runs = fan_out(cfg.workers, sites, |_, params: TransientParams| {
-        let t = Instant::now();
-        let (tool, handle) = TransientInjector::new(params.clone());
-        let out = run_program(program, run_cfg.clone(), Some(Box::new(tool)));
-        let wall = t.elapsed();
-        let outcome = classify(&golden, &out, check);
-        InjectionRun { params, outcome, injected: handle.get().injected, wall }
-    });
+    // Resolve each site's target to a global launch index and group sites
+    // by it: runs sharing a target restore the same checkpoint, so the
+    // store's pages stay warm across consecutive work items. A site the
+    // golden run never reached (possible with approximate profiles) can
+    // never fire, so its run fast-forwards through every recorded launch.
+    let mut work: Vec<(usize, TransientParams, Option<u64>)> = sites
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let upto = checkpoints
+                .as_ref()
+                .map(|s| s.find_instance(&p.kernel_name, p.kernel_count).unwrap_or(s.len() as u64));
+            (i, p, upto)
+        })
+        .collect();
+    work.sort_by_key(|&(i, _, upto)| (upto.unwrap_or(0), i));
+
+    // Steps 3-4: inject and classify, fanned out over workers sharing the
+    // immutable checkpoint store.
+    let mut tagged =
+        fan_out(cfg.workers, work, |_, (orig, params, upto): (usize, TransientParams, _)| {
+            let t = Instant::now();
+            let (tool, handle) = TransientInjector::new(params.clone());
+            let out = match (&checkpoints, upto) {
+                (Some(store), Some(upto)) => run_program_fast_forward(
+                    program,
+                    run_cfg.clone(),
+                    Some(Box::new(tool)),
+                    Arc::clone(store),
+                    upto,
+                ),
+                _ => run_program(program, run_cfg.clone(), Some(Box::new(tool))),
+            };
+            let wall = t.elapsed();
+            let outcome = classify(&golden, &out, check);
+            let run = InjectionRun {
+                params,
+                outcome,
+                injected: handle.get().injected,
+                wall,
+                prefix_instrs_skipped: out.prefix_instrs_skipped,
+            };
+            (orig, run)
+        });
+    // fan_out preserved dispatch (grouped) order; report in selection order.
+    tagged.sort_by_key(|&(orig, _)| orig);
+    let runs: Vec<InjectionRun> = tagged.into_iter().map(|(_, r)| r).collect();
 
     let mut counts = OutcomeCounts::default();
     for r in &runs {
@@ -188,6 +246,7 @@ pub fn run_transient_campaign(
         golden: golden_wall,
         profiling: profiling_wall,
         injections: runs.iter().map(|r| r.wall).collect(),
+        prefix_instrs_skipped: runs.iter().map(|r| r.prefix_instrs_skipped).sum(),
     };
     Ok(TransientCampaign {
         program: program.name().to_string(),
@@ -310,14 +369,8 @@ pub fn run_permanent_campaign(
     let max_blocks =
         golden.summary.launches.iter().map(|l| l.stats.blocks).max().unwrap_or(1).max(1);
     let used_sms = num_sms.min(max_blocks.min(u32::MAX as u64) as u32).max(1);
-    let max_tpb = golden
-        .summary
-        .launches
-        .iter()
-        .map(|l| l.stats.threads_per_block)
-        .max()
-        .unwrap_or(1)
-        .max(1);
+    let max_tpb =
+        golden.summary.launches.iter().map(|l| l.stats.threads_per_block).max().unwrap_or(1).max(1);
     let used_lanes = (gpu_isa::WARP_SIZE as u64).min(max_tpb).max(1) as u32;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let experiments: Vec<(PermanentParams, u64)> = opcodes
@@ -398,6 +451,7 @@ mod tests {
                 Duration::from_millis(1),
                 Duration::from_millis(2),
             ],
+            prefix_instrs_skipped: 0,
         };
         assert_eq!(t.median_injection(), Duration::from_millis(2));
         assert_eq!(t.total(), Duration::from_millis(16));

@@ -119,7 +119,8 @@ impl ExtInjector {
             _ => 0,
         };
         let record = Arc::new(Mutex::new(ExtRecord::default()));
-        let inj = ExtInjector { fault, rng: StdRng::seed_from_u64(seed), record: Arc::clone(&record) };
+        let inj =
+            ExtInjector { fault, rng: StdRng::seed_from_u64(seed), record: Arc::clone(&record) };
         (NvBit::new(inj), ExtHandle(record))
     }
 
@@ -259,7 +260,9 @@ impl NvBitTool for DictInjector {
         if thread.meta.sm != self.sm_id || thread.meta.lane != self.lane_id {
             return;
         }
-        let Some(entry) = self.dict.get(site.instr.opcode()).copied() else { return };
+        let Some(entry) = self.dict.get(site.instr.opcode()).copied() else {
+            return;
+        };
         self.record.lock().opportunities += 1;
         if !self.rng.gen_bool(entry.manifest_prob.clamp(0.0, 1.0)) {
             return;
@@ -329,13 +332,7 @@ mod tests {
     }
 
     fn fault(activation: ActivationPattern, corruption: CorruptionFn) -> ExtFault {
-        ExtFault {
-            opcodes: vec![Opcode::IADD32I],
-            sm_id: 0,
-            lane_id: 3,
-            corruption,
-            activation,
-        }
+        ExtFault { opcodes: vec![Opcode::IADD32I], sm_id: 0, lane_id: 3, corruption, activation }
     }
 
     #[test]

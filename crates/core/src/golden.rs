@@ -1,7 +1,10 @@
 //! The golden (fault-free) reference run — Figure 1's "golden output state".
 
 use crate::error::FiError;
-use gpu_runtime::{run_program, Program, ProgramOutput, RunSummary, RuntimeConfig};
+use gpu_runtime::{
+    run_program, run_program_recording, CheckpointStore, Program, ProgramOutput, RunSummary,
+    RuntimeConfig,
+};
 use std::collections::BTreeMap;
 
 /// The reference outputs every injection run is compared against.
@@ -38,6 +41,24 @@ impl GoldenOutput {
 /// against a program that misbehaves on its own is meaningless.
 pub fn golden_run(program: &dyn Program, cfg: RuntimeConfig) -> Result<GoldenOutput, FiError> {
     let out: ProgramOutput = run_program(program, cfg, None);
+    validate(program, out)
+}
+
+/// Like [`golden_run`], but also record a launch-boundary
+/// [`CheckpointStore`] for injection runs to fast-forward from.
+///
+/// # Errors
+///
+/// Same as [`golden_run`].
+pub fn golden_run_recording(
+    program: &dyn Program,
+    cfg: RuntimeConfig,
+) -> Result<(GoldenOutput, CheckpointStore), FiError> {
+    let (out, store) = run_program_recording(program, cfg);
+    Ok((validate(program, out)?, store))
+}
+
+fn validate(program: &dyn Program, out: ProgramOutput) -> Result<GoldenOutput, FiError> {
     if !out.termination.is_clean() {
         return Err(FiError::GoldenRunFailed {
             program: program.name().to_string(),

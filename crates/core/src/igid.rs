@@ -141,11 +141,7 @@ mod tests {
     fn derived_groups_match_formulas() {
         for op in Opcode::ALL {
             // G_GPPR = all − G_NODEST
-            assert_eq!(
-                InstrGroup::GpPr.contains(op),
-                !InstrGroup::NoDest.contains(op),
-                "{op}"
-            );
+            assert_eq!(InstrGroup::GpPr.contains(op), !InstrGroup::NoDest.contains(op), "{op}");
             // G_GP = all − G_NODEST − G_PR
             assert_eq!(
                 InstrGroup::Gp.contains(op),

@@ -94,22 +94,23 @@ pub mod logfile;
 pub mod multi;
 pub mod outcome;
 mod params;
+pub mod permanent;
 pub mod profile;
 pub mod report;
 mod select;
 pub mod stats;
 pub mod transient;
-pub mod permanent;
 
+pub use avf::{AvfEstimate, GroupAvf};
 pub use bitflip::BitFlipModel;
 pub use campaign::{
-    run_permanent_campaign, run_transient_campaign, CampaignConfig, CampaignTiming,
-    InjectionRun, PermanentCampaign, PermanentCampaignConfig, PermanentRun, TransientCampaign,
-    WeightedOutcomes,
+    run_permanent_campaign, run_transient_campaign, CampaignConfig, CampaignTiming, InjectionRun,
+    PermanentCampaign, PermanentCampaignConfig, PermanentRun, TransientCampaign, WeightedOutcomes,
 };
 pub use error::FiError;
-pub use golden::{golden_run, GoldenOutput};
+pub use golden::{golden_run, golden_run_recording, GoldenOutput};
 pub use igid::InstrGroup;
+pub use multi::{earliest_target_launch, MultiHandle, MultiRecord, MultiTransientInjector};
 pub use outcome::{
     classify, DueKind, ExactDiff, Outcome, OutcomeClass, OutcomeCounts, SdcCheck, SdcReason,
     SdcVerdict,
@@ -119,9 +120,7 @@ pub use permanent::{PermanentHandle, PermanentInjector, PermanentRecord};
 pub use profile::{
     profile_program, FaultSite, KernelProfile, Profile, ProfileHandle, Profiler, ProfilingMode,
 };
-pub use avf::{AvfEstimate, GroupAvf};
 pub use select::{select_campaign, select_transient};
-pub use multi::{MultiHandle, MultiRecord, MultiTransientInjector};
 pub use transient::{
     CorruptedTarget, InjectionDetail, InjectionHandle, InjectionRecord, TransientInjector,
 };

@@ -136,18 +136,23 @@ pub struct LogRow {
     pub injected: bool,
     /// Run duration in microseconds.
     pub wall_us: u64,
+    /// Dynamic instructions the run skipped via checkpoint fast-forward
+    /// (0 in v1 logs, which predate the column).
+    pub prefix_instrs_skipped: u64,
 }
 
-/// Serialize a campaign's per-run results, one line per injection.
+/// Serialize a campaign's per-run results, one line per injection. The v2
+/// format appends a `skip_instrs` column (dynamic instructions skipped by
+/// checkpoint fast-forward); the reader still accepts v1 rows.
 pub fn write_results_log(c: &TransientCampaign) -> String {
     let mut out = format!(
-        "# nvbitfi results log v1 program={}\n# igid\tbfm\tkernel\tkcount\ticount\tdreg\tbitpat\tfired\toutcome\twall_us\n",
+        "# nvbitfi results log v2 program={}\n# igid\tbfm\tkernel\tkcount\ticount\tdreg\tbitpat\tfired\toutcome\twall_us\tskip_instrs\n",
         c.program
     );
     for run in &c.runs {
         let p = &run.params;
         out.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
             p.group.id(),
             p.bit_flip.id(),
             p.kernel_name,
@@ -157,7 +162,8 @@ pub fn write_results_log(c: &TransientCampaign) -> String {
             p.bit_pattern,
             if run.injected { 1 } else { 0 },
             outcome_code(&run.outcome),
-            run.wall.as_micros()
+            run.wall.as_micros(),
+            run.prefix_instrs_skipped
         ));
     }
     out
@@ -177,8 +183,8 @@ pub fn read_results_log(text: &str) -> Result<Vec<LogRow>, FiError> {
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 10 {
-            return Err(bad(lineno, format!("expected 10 fields, got {}", fields.len())));
+        if fields.len() != 10 && fields.len() != 11 {
+            return Err(bad(lineno, format!("expected 10 or 11 fields, got {}", fields.len())));
         }
         let head = fields[..7].join("\t");
         let params = read_injection_list(&head)
@@ -192,10 +198,15 @@ pub fn read_results_log(text: &str) -> Result<Vec<LogRow>, FiError> {
         };
         let outcome = parse_outcome(fields[8])
             .ok_or_else(|| bad(lineno, format!("bad outcome `{}`", fields[8])))?;
-        let wall_us = fields[9]
-            .parse::<u64>()
-            .map_err(|e| bad(lineno, format!("bad wall_us: {e}")))?;
-        rows.push(LogRow { params, outcome, injected, wall_us });
+        let wall_us =
+            fields[9].parse::<u64>().map_err(|e| bad(lineno, format!("bad wall_us: {e}")))?;
+        let prefix_instrs_skipped = match fields.get(10) {
+            Some(s) => {
+                s.parse::<u64>().map_err(|e| bad(lineno, format!("bad skip_instrs: {e}")))?
+            }
+            None => 0, // v1 row
+        };
+        rows.push(LogRow { params, outcome, injected, wall_us, prefix_instrs_skipped });
     }
     Ok(rows)
 }
@@ -219,6 +230,7 @@ pub fn to_runs(rows: Vec<LogRow>) -> Vec<InjectionRun> {
             outcome: r.outcome,
             injected: r.injected,
             wall: std::time::Duration::from_micros(r.wall_us),
+            prefix_instrs_skipped: r.prefix_instrs_skipped,
         })
         .collect()
 }
@@ -294,12 +306,16 @@ mod tests {
             .map(|i| InjectionRun {
                 params: site(i),
                 outcome: if i % 3 == 0 {
-                    Outcome { class: OutcomeClass::Sdc(vec![SdcReason::Stdout]), potential_due: false }
+                    Outcome {
+                        class: OutcomeClass::Sdc(vec![SdcReason::Stdout]),
+                        potential_due: false,
+                    }
                 } else {
                     Outcome { class: OutcomeClass::Masked, potential_due: i % 4 == 1 }
                 },
                 injected: i % 7 != 0,
                 wall: std::time::Duration::from_micros(1000 + i),
+                prefix_instrs_skipped: i * 1000,
             })
             .collect();
         let campaign = TransientCampaign {
@@ -324,7 +340,7 @@ mod tests {
             timing: Default::default(),
         };
         let text = write_results_log(&campaign);
-        assert!(text.starts_with("# nvbitfi results log v1 program=test.prog"));
+        assert!(text.starts_with("# nvbitfi results log v2 program=test.prog"));
         let rows = read_results_log(&text).expect("parse");
         assert_eq!(rows.len(), 10);
         assert_eq!(tally(&rows), campaign.counts);
@@ -333,17 +349,26 @@ mod tests {
             assert_eq!(a.params, b.params);
             assert_eq!(a.injected, b.injected);
             assert_eq!(a.wall, b.wall);
+            assert_eq!(a.prefix_instrs_skipped, b.prefix_instrs_skipped);
         }
+    }
+
+    #[test]
+    fn results_log_accepts_v1_rows_without_skip_column() {
+        let header = "# nvbitfi results log v1 program=x\n";
+        let rows = read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED\t5"))
+            .expect("v1 row parses");
+        assert_eq!(rows[0].prefix_instrs_skipped, 0);
+        assert_eq!(rows[0].wall_us, 5);
     }
 
     #[test]
     fn results_log_rejects_bad_rows() {
         let header = "# nvbitfi results log v1 program=x\n";
-        assert!(read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t2\tMASKED\t5"))
-            .is_err());
-        assert!(read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tWAT\t5"))
-            .is_err());
-        assert!(read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED"))
-            .is_err());
+        assert!(
+            read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t2\tMASKED\t5")).is_err()
+        );
+        assert!(read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tWAT\t5")).is_err());
+        assert!(read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED")).is_err());
     }
 }

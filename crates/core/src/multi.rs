@@ -12,7 +12,7 @@
 use crate::params::TransientParams;
 use crate::transient::{CorruptedTarget, InjectionDetail};
 use gpu_isa::{Kernel, PReg, Reg};
-use gpu_runtime::KernelLaunchInfo;
+use gpu_runtime::{CheckpointStore, KernelLaunchInfo};
 use nvbit::{CallSite, Inserter, NvBit, NvBitTool, When};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -63,8 +63,7 @@ pub struct MultiTransientInjector {
 impl MultiTransientInjector {
     /// Create an injector for `faults`, plus the handle to its record.
     pub fn new(faults: Vec<TransientParams>) -> (NvBit<MultiTransientInjector>, MultiHandle) {
-        let record =
-            Arc::new(Mutex::new(MultiRecord { details: vec![None; faults.len()] }));
+        let record = Arc::new(Mutex::new(MultiRecord { details: vec![None; faults.len()] }));
         let mut by_kernel: HashMap<String, Vec<Pending>> = HashMap::new();
         for (index, params) in faults.into_iter().enumerate() {
             by_kernel.entry(params.kernel_name.clone()).or_default().push(Pending {
@@ -114,9 +113,25 @@ impl MultiTransientInjector {
     }
 }
 
+/// The earliest global launch index any of `faults` targets — the safe
+/// fast-forward bound for a multi-fault run. Launches before it carry no
+/// injection site and can be replayed from `store`'s checkpoints. Faults
+/// whose target instance never ran in the golden run don't constrain the
+/// bound; if *no* fault has a reachable target, every recorded launch may
+/// be fast-forwarded (`store.len()`).
+pub fn earliest_target_launch(faults: &[TransientParams], store: &CheckpointStore) -> u64 {
+    faults
+        .iter()
+        .filter_map(|p| store.find_instance(&p.kernel_name, p.kernel_count))
+        .min()
+        .unwrap_or(store.len() as u64)
+}
+
 impl NvBitTool for MultiTransientInjector {
     fn instrument_kernel(&mut self, kernel: &Kernel, inserter: &mut Inserter<'_>) {
-        let Some(pendings) = self.by_kernel.get(kernel.name()) else { return };
+        let Some(pendings) = self.by_kernel.get(kernel.name()) else {
+            return;
+        };
         // Instrument the union of the faults' groups within this kernel.
         for (pc, instr) in kernel.instrs().iter().enumerate() {
             if pendings.iter().any(|p| p.params.group.contains(instr.op)) {
@@ -128,14 +143,14 @@ impl NvBitTool for MultiTransientInjector {
     fn launch_enabled(&mut self, info: &KernelLaunchInfo<'_>) -> bool {
         self.by_kernel
             .get(info.kernel.name())
-            .map(|ps| {
-                ps.iter().any(|p| !p.done && p.params.kernel_count == info.instance)
-            })
+            .map(|ps| ps.iter().any(|p| !p.done && p.params.kernel_count == info.instance))
             .unwrap_or(false)
     }
 
     fn device_call(&mut self, site: &CallSite<'_>, thread: &mut gpu_sim::ThreadCtx<'_>) {
-        let Some(pendings) = self.by_kernel.get_mut(site.kernel) else { return };
+        let Some(pendings) = self.by_kernel.get_mut(site.kernel) else {
+            return;
+        };
         let op = site.instr.opcode();
         for p in pendings.iter_mut() {
             if p.params.kernel_count != site.kernel_instance || !p.params.group.contains(op) {
@@ -249,13 +264,55 @@ mod tests {
     }
 
     #[test]
+    fn fast_forward_multi_fault_matches_full_run() {
+        use gpu_runtime::{run_program_fast_forward, run_program_recording};
+        use std::sync::Arc;
+
+        let (golden, store) = run_program_recording(&App, RuntimeConfig::default());
+        assert!(golden.termination.is_clean());
+        assert_eq!(store.len(), 3);
+
+        // Faults in instances 1 and 2: launch 0 is pure prefix.
+        let faults = vec![fault(1, 64), fault(2, 70)];
+        let upto = earliest_target_launch(&faults, &store);
+        assert_eq!(upto, 1);
+
+        let (tool, full_handle) = MultiTransientInjector::new(faults.clone());
+        let full = run_program(&App, RuntimeConfig::default(), Some(Box::new(tool)));
+
+        let (tool, ff_handle) = MultiTransientInjector::new(faults);
+        let ff = run_program_fast_forward(
+            &App,
+            RuntimeConfig::default(),
+            Some(Box::new(tool)),
+            Arc::new(store),
+            upto,
+        );
+        assert_eq!(ff.stdout, full.stdout);
+        assert_eq!(ff.files, full.files);
+        assert_eq!(ff_handle.get(), full_handle.get(), "identical architectural events");
+        assert!(ff.prefix_instrs_skipped > 0, "prefix launch was replayed, not simulated");
+        assert_eq!(full.prefix_instrs_skipped, 0);
+    }
+
+    #[test]
+    fn earliest_target_launch_bounds() {
+        use gpu_runtime::run_program_recording;
+        let (_, store) = run_program_recording(&App, RuntimeConfig::default());
+        // No reachable target: the whole run may be fast-forwarded.
+        assert_eq!(earliest_target_launch(&[fault(9, 0)], &store), 3);
+        assert_eq!(earliest_target_launch(&[], &store), 3);
+        // A fault in instance 0 pins the bound to the first launch.
+        assert_eq!(earliest_target_launch(&[fault(2, 0), fault(0, 0)], &store), 0);
+    }
+
+    #[test]
     fn multi_with_one_fault_matches_single_injector() {
         let p = fault(1, 64 + 9);
         let (multi_tool, multi_handle) = MultiTransientInjector::new(vec![p.clone()]);
         let multi_out = run_program(&App, RuntimeConfig::default(), Some(Box::new(multi_tool)));
         let (single_tool, single_handle) = crate::transient::TransientInjector::new(p);
-        let single_out =
-            run_program(&App, RuntimeConfig::default(), Some(Box::new(single_tool)));
+        let single_out = run_program(&App, RuntimeConfig::default(), Some(Box::new(single_tool)));
         assert_eq!(multi_out.stdout, single_out.stdout);
         let m = multi_handle.get().details[0].clone().expect("fired");
         let s = single_handle.get().detail.expect("fired");

@@ -178,8 +178,7 @@ pub fn classify(golden: &GoldenOutput, run: &ProgramOutput, check: &dyn SdcCheck
             SdcVerdict::Fail(reasons) => OutcomeClass::Sdc(reasons),
         },
     };
-    let potential_due =
-        !matches!(class, OutcomeClass::Due(_)) && run.has_anomaly();
+    let potential_due = !matches!(class, OutcomeClass::Due(_)) && run.has_anomaly();
     Outcome { class, potential_due }
 }
 
@@ -282,6 +281,7 @@ mod tests {
             termination,
             anomalies: Vec::new(),
             summary: RunSummary::default(),
+            prefix_instrs_skipped: 0,
         }
     }
 
@@ -297,14 +297,16 @@ mod tests {
 
     #[test]
     fn masked_when_identical() {
-        let o = classify(&golden(), &run("hello\n", Termination::Normal { exit_code: 0 }), &ExactDiff);
+        let o =
+            classify(&golden(), &run("hello\n", Termination::Normal { exit_code: 0 }), &ExactDiff);
         assert!(o.is_masked());
         assert!(!o.potential_due);
     }
 
     #[test]
     fn sdc_on_stdout_diff() {
-        let o = classify(&golden(), &run("helXo\n", Termination::Normal { exit_code: 0 }), &ExactDiff);
+        let o =
+            classify(&golden(), &run("helXo\n", Termination::Normal { exit_code: 0 }), &ExactDiff);
         assert!(o.is_sdc());
         match &o.class {
             OutcomeClass::Sdc(r) => assert_eq!(r, &vec![SdcReason::Stdout]),
@@ -332,8 +334,7 @@ mod tests {
     fn due_on_hang_and_exit() {
         let o = classify(&golden(), &run("hello\n", Termination::Hang), &ExactDiff);
         assert_eq!(o.class, OutcomeClass::Due(DueKind::Timeout));
-        let o =
-            classify(&golden(), &run("x\n", Termination::Normal { exit_code: 1 }), &ExactDiff);
+        let o = classify(&golden(), &run("x\n", Termination::Normal { exit_code: 1 }), &ExactDiff);
         assert_eq!(o.class, OutcomeClass::Due(DueKind::NonZeroExit));
     }
 
@@ -362,7 +363,11 @@ mod tests {
             }
         }
         // Different bytes, but the app's checker accepts them.
-        let o = classify(&golden(), &run("close enough\n", Termination::Normal { exit_code: 0 }), &Tolerant);
+        let o = classify(
+            &golden(),
+            &run("close enough\n", Termination::Normal { exit_code: 0 }),
+            &Tolerant,
+        );
         assert!(o.is_masked());
     }
 

@@ -247,9 +247,8 @@ impl PermanentParams {
 
 impl fmt::Display for PermanentParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let op = gpu_isa::Opcode::decode(self.opcode_id)
-            .map(|o| o.mnemonic())
-            .unwrap_or("<invalid>");
+        let op =
+            gpu_isa::Opcode::decode(self.opcode_id).map(|o| o.mnemonic()).unwrap_or("<invalid>");
         write!(
             f,
             "permanent fault on {op} (opcode {}) at SM {}, lane {}, mask {:#010x}",

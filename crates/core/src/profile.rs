@@ -148,8 +148,12 @@ impl Profile {
     pub fn to_file(&self) -> String {
         let mut out = format!("# nvbitfi profile mode={}\n", self.mode);
         for k in &self.kernels {
-            let counts: Vec<String> =
-                k.counts.iter().filter(|(_, n)| **n > 0).map(|(op, n)| format!("{op}={n}")).collect();
+            let counts: Vec<String> = k
+                .counts
+                .iter()
+                .filter(|(_, n)| **n > 0)
+                .map(|(op, n)| format!("{op}={n}"))
+                .collect();
             out.push_str(&format!("{}:{}: {}\n", k.kernel, k.instance, counts.join(",")));
         }
         out
@@ -163,8 +167,7 @@ impl Profile {
     pub fn from_file(text: &str) -> Result<Profile, FiError> {
         let bad = |line: usize, reason: String| FiError::BadProfileFile { line, reason };
         let mut lines = text.lines().enumerate();
-        let (_, header) =
-            lines.next().ok_or_else(|| bad(1, "empty profile".into()))?;
+        let (_, header) = lines.next().ok_or_else(|| bad(1, "empty profile".into()))?;
         let mode = if header.contains("mode=exact") {
             ProfilingMode::Exact
         } else if header.contains("mode=approximate") {
@@ -185,9 +188,8 @@ impl Profile {
             let (kernel, instance_s) = head
                 .rsplit_once(':')
                 .ok_or_else(|| bad(lineno, "missing kernel:instance".into()))?;
-            let instance = instance_s
-                .parse::<u64>()
-                .map_err(|e| bad(lineno, format!("bad instance: {e}")))?;
+            let instance =
+                instance_s.parse::<u64>().map_err(|e| bad(lineno, format!("bad instance: {e}")))?;
             let mut counts = BTreeMap::new();
             for item in rest.split(',').filter(|s| !s.trim().is_empty()) {
                 let (op_s, n_s) = item
@@ -332,10 +334,7 @@ mod tests {
         KernelProfile {
             kernel: kernel.into(),
             instance,
-            counts: counts
-                .iter()
-                .map(|(m, n)| (Opcode::from_mnemonic(m).expect(m), *n))
-                .collect(),
+            counts: counts.iter().map(|(m, n)| (Opcode::from_mnemonic(m).expect(m), *n)).collect(),
         }
     }
 
@@ -401,10 +400,7 @@ mod tests {
 
     #[test]
     fn file_parse_errors_name_lines() {
-        assert!(matches!(
-            Profile::from_file(""),
-            Err(FiError::BadProfileFile { line: 1, .. })
-        ));
+        assert!(matches!(Profile::from_file(""), Err(FiError::BadProfileFile { line: 1, .. })));
         assert!(matches!(
             Profile::from_file("# nvbitfi profile mode=exact\ngarbage-without-separator"),
             Err(FiError::BadProfileFile { line: 2, .. })
@@ -417,10 +413,7 @@ mod tests {
 
     #[test]
     fn empty_kernel_line_roundtrips() {
-        let p = Profile {
-            mode: ProfilingMode::Approximate,
-            kernels: vec![kp("quiet", 0, &[])],
-        };
+        let p = Profile { mode: ProfilingMode::Approximate, kernels: vec![kp("quiet", 0, &[])] };
         let back = Profile::from_file(&p.to_file()).expect("parse");
         assert_eq!(back, p);
     }

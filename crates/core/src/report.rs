@@ -55,12 +55,13 @@ pub fn outcome_cells(c: &OutcomeCounts) -> Vec<String> {
     vec![pct(sdc), pct(due), pct(masked)]
 }
 
-/// One-paragraph summary of a transient campaign.
+/// One-paragraph summary of a transient campaign, followed by the
+/// per-phase wall-clock breakdown from [`phase_breakdown`].
 pub fn transient_summary(c: &TransientCampaign) -> String {
     let injected = c.runs.iter().filter(|r| r.injected).count();
     format!(
         "{}: {} over {} injections ({} fired); profile: {} dynamic kernels, \
-         {} dynamic instructions ({} profiling); median injection run {:?}, campaign total {:?}",
+         {} dynamic instructions ({} profiling); median injection run {:?}, campaign total {:?}\n{}",
         c.program,
         c.counts,
         c.runs.len(),
@@ -70,7 +71,23 @@ pub fn transient_summary(c: &TransientCampaign) -> String {
         c.profile.mode,
         c.timing.median_injection(),
         c.timing.total(),
+        phase_breakdown(&c.timing),
     )
+}
+
+/// Per-phase wall-clock table for a campaign (golden / profiling /
+/// injections), plus the dynamic instructions the injection runs avoided
+/// by fast-forwarding their pre-injection prefixes from checkpoints.
+pub fn phase_breakdown(t: &crate::campaign::CampaignTiming) -> String {
+    let injections: std::time::Duration = t.injections.iter().sum();
+    let mut out = table(&[
+        vec!["phase".into(), "wall-clock".into()],
+        vec!["golden run".into(), format!("{:?}", t.golden)],
+        vec!["profiling".into(), format!("{:?}", t.profiling)],
+        vec![format!("injections (x{})", t.injections.len()), format!("{injections:?}")],
+    ]);
+    let _ = write!(out, "prefix instructions skipped via checkpoints: {}", t.prefix_instrs_skipped);
+    out
 }
 
 /// One-paragraph summary of a permanent campaign.
@@ -94,10 +111,8 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(&[
-            vec!["a".into(), "long-header".into()],
-            vec!["wider-cell".into(), "x".into()],
-        ]);
+        let t =
+            table(&[vec!["a".into(), "long-header".into()], vec!["wider-cell".into(), "x".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("---"));
@@ -115,5 +130,22 @@ mod tests {
     #[test]
     fn empty_table() {
         assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn phase_breakdown_reports_all_phases_and_skips() {
+        use std::time::Duration;
+        let t = crate::campaign::CampaignTiming {
+            golden: Duration::from_millis(5),
+            profiling: Duration::from_millis(7),
+            injections: vec![Duration::from_millis(2); 4],
+            prefix_instrs_skipped: 1234,
+        };
+        let text = phase_breakdown(&t);
+        assert!(text.contains("golden run"), "{text}");
+        assert!(text.contains("profiling"), "{text}");
+        assert!(text.contains("injections (x4)"), "{text}");
+        assert!(text.contains("8ms"), "sums the injection phase: {text}");
+        assert!(text.contains("skipped via checkpoints: 1234"), "{text}");
     }
 }

@@ -139,9 +139,8 @@ mod tests {
     fn empty_population_is_an_error() {
         let p = profile();
         let mut rng = StdRng::seed_from_u64(1);
-        let err =
-            select_transient(&p, InstrGroup::Fp64, BitFlipModel::FlipSingleBit, &mut rng)
-                .unwrap_err();
+        let err = select_transient(&p, InstrGroup::Fp64, BitFlipModel::FlipSingleBit, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, FiError::EmptyPopulation { .. }));
     }
 

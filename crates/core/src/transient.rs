@@ -106,11 +106,7 @@ impl TransientInjector {
         (NvBit::new(inj), InjectionHandle(record))
     }
 
-    fn corrupt(
-        &self,
-        site: &CallSite<'_>,
-        thread: &mut gpu_sim::ThreadCtx<'_>,
-    ) -> CorruptedTarget {
+    fn corrupt(&self, site: &CallSite<'_>, thread: &mut gpu_sim::ThreadCtx<'_>) -> CorruptedTarget {
         let group = self.params.group;
         let gprs: Vec<Reg> = if group.targets_gprs() { site.instr.gpr_dests() } else { Vec::new() };
         let preds: Vec<PReg> =
@@ -158,8 +154,7 @@ impl NvBitTool for TransientInjector {
     }
 
     fn launch_enabled(&mut self, info: &KernelLaunchInfo<'_>) -> bool {
-        info.kernel.name() == self.params.kernel_name
-            && info.instance == self.params.kernel_count
+        info.kernel.name() == self.params.kernel_name && info.instance == self.params.kernel_count
     }
 
     fn device_call(&mut self, site: &CallSite<'_>, thread: &mut gpu_sim::ThreadCtx<'_>) {

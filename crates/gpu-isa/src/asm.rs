@@ -123,12 +123,20 @@ impl KernelBuilder {
 
     /// `MOV Rd, Ra`.
     pub fn mov(&mut self, d: Reg, a: Reg) -> &mut Instr {
-        self.emit(Opcode::MOV, [Dst::R(d), Dst::None], [Operand::R(a), Operand::None, Operand::None, Operand::None])
+        self.emit(
+            Opcode::MOV,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::None, Operand::None, Operand::None],
+        )
     }
 
     /// `MOV32I Rd, imm`.
     pub fn movi(&mut self, d: Reg, imm: u32) -> &mut Instr {
-        self.emit(Opcode::MOV32I, [Dst::R(d), Dst::None], [Operand::Imm(imm), Operand::None, Operand::None, Operand::None])
+        self.emit(
+            Opcode::MOV32I,
+            [Dst::R(d), Dst::None],
+            [Operand::Imm(imm), Operand::None, Operand::None, Operand::None],
+        )
     }
 
     /// `MOV32I Rd, f32-bits`.
@@ -138,17 +146,29 @@ impl KernelBuilder {
 
     /// `S2R Rd, SR` — read a special register.
     pub fn s2r(&mut self, d: Reg, sr: SpecialReg) -> &mut Instr {
-        self.emit(Opcode::S2R, [Dst::R(d), Dst::None], [Operand::Sr(sr), Operand::None, Operand::None, Operand::None])
+        self.emit(
+            Opcode::S2R,
+            [Dst::R(d), Dst::None],
+            [Operand::Sr(sr), Operand::None, Operand::None, Operand::None],
+        )
     }
 
     /// `SEL Rd, Ra, Rb, P` — `Rd = P ? Ra : Rb`.
     pub fn sel(&mut self, d: Reg, a: Reg, b: Reg, p: PReg) -> &mut Instr {
-        self.emit(Opcode::SEL, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::P(p), Operand::None])
+        self.emit(
+            Opcode::SEL,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::P(p), Operand::None],
+        )
     }
 
     /// `SHFL.mode Rd, Ra, lanes` — warp shuffle.
     pub fn shfl(&mut self, mode: ShflMode, d: Reg, a: Reg, lanes: u32) -> &mut Instr {
-        let i = self.emit(Opcode::SHFL, [Dst::R(d), Dst::None], [Operand::R(a), Operand::Imm(lanes), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::SHFL,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::Imm(lanes), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Shfl(mode);
         i
     }
@@ -157,45 +177,77 @@ impl KernelBuilder {
 
     /// `FADD Rd, Ra, Rb`.
     pub fn fadd(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::FADD, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::FADD,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        )
     }
 
     /// `FADD32I Rd, Ra, imm`.
     pub fn faddi(&mut self, d: Reg, a: Reg, v: f32) -> &mut Instr {
-        self.emit(Opcode::FADD32I, [Dst::R(d), Dst::None], [Operand::R(a), Operand::imm_f32(v), Operand::None, Operand::None])
+        self.emit(
+            Opcode::FADD32I,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::imm_f32(v), Operand::None, Operand::None],
+        )
     }
 
     /// `FMUL Rd, Ra, Rb`.
     pub fn fmul(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::FMUL, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::FMUL,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        )
     }
 
     /// `FMUL32I Rd, Ra, imm`.
     pub fn fmuli(&mut self, d: Reg, a: Reg, v: f32) -> &mut Instr {
-        self.emit(Opcode::FMUL32I, [Dst::R(d), Dst::None], [Operand::R(a), Operand::imm_f32(v), Operand::None, Operand::None])
+        self.emit(
+            Opcode::FMUL32I,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::imm_f32(v), Operand::None, Operand::None],
+        )
     }
 
     /// `FFMA Rd, Ra, Rb, Rc` — `Rd = Ra*Rb + Rc`.
     pub fn ffma(&mut self, d: Reg, a: Reg, b: Reg, c: Reg) -> &mut Instr {
-        self.emit(Opcode::FFMA, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None])
+        self.emit(
+            Opcode::FFMA,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None],
+        )
     }
 
     /// `FMNMX Rd, Ra, Rb` (min when `min` is true).
     pub fn fmnmx(&mut self, d: Reg, a: Reg, b: Reg, min: bool) -> &mut Instr {
         let p = if min { Operand::P(PReg::PT) } else { Operand::NotP(PReg::PT) };
-        self.emit(Opcode::FMNMX, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), p, Operand::None])
+        self.emit(
+            Opcode::FMNMX,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), p, Operand::None],
+        )
     }
 
     /// `MUFU.func Rd, Ra`.
     pub fn mufu(&mut self, func: MufuFunc, d: Reg, a: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::MUFU, [Dst::R(d), Dst::None], [Operand::R(a), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::MUFU,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Func(func);
         i
     }
 
     /// `FSETP.cmp Pd, Ra, Rb`.
     pub fn fsetp(&mut self, p: PReg, cmp: CmpOp, a: Reg, b: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::FSETP, [Dst::P(p), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::FSETP,
+            [Dst::P(p), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Cmp(cmp);
         i
     }
@@ -204,22 +256,38 @@ impl KernelBuilder {
 
     /// `HADD2 Rd, Ra, Rb` — per-half `f16` add.
     pub fn hadd2(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::HADD2, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::HADD2,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        )
     }
 
     /// `HMUL2 Rd, Ra, Rb` — per-half `f16` multiply.
     pub fn hmul2(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::HMUL2, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::HMUL2,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        )
     }
 
     /// `HFMA2 Rd, Ra, Rb, Rc` — per-half `f16` fused multiply-add.
     pub fn hfma2(&mut self, d: Reg, a: Reg, b: Reg, c: Reg) -> &mut Instr {
-        self.emit(Opcode::HFMA2, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None])
+        self.emit(
+            Opcode::HFMA2,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None],
+        )
     }
 
     /// `HSETP2.cmp Pd, Ra, Rb` — compare both halves, AND-combined.
     pub fn hsetp2(&mut self, p: PReg, cmp: CmpOp, a: Reg, b: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::HSETP2, [Dst::P(p), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::HSETP2,
+            [Dst::P(p), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Cmp(cmp);
         i
     }
@@ -228,22 +296,38 @@ impl KernelBuilder {
 
     /// `DADD Rd.64, Ra.64, Rb.64`.
     pub fn dadd(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::DADD, [Dst::R64(d), Dst::None], [Operand::R64(a), Operand::R64(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::DADD,
+            [Dst::R64(d), Dst::None],
+            [Operand::R64(a), Operand::R64(b), Operand::None, Operand::None],
+        )
     }
 
     /// `DMUL Rd.64, Ra.64, Rb.64`.
     pub fn dmul(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::DMUL, [Dst::R64(d), Dst::None], [Operand::R64(a), Operand::R64(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::DMUL,
+            [Dst::R64(d), Dst::None],
+            [Operand::R64(a), Operand::R64(b), Operand::None, Operand::None],
+        )
     }
 
     /// `DFMA Rd.64, Ra.64, Rb.64, Rc.64`.
     pub fn dfma(&mut self, d: Reg, a: Reg, b: Reg, c: Reg) -> &mut Instr {
-        self.emit(Opcode::DFMA, [Dst::R64(d), Dst::None], [Operand::R64(a), Operand::R64(b), Operand::R64(c), Operand::None])
+        self.emit(
+            Opcode::DFMA,
+            [Dst::R64(d), Dst::None],
+            [Operand::R64(a), Operand::R64(b), Operand::R64(c), Operand::None],
+        )
     }
 
     /// `DSETP.cmp Pd, Ra.64, Rb.64`.
     pub fn dsetp(&mut self, p: PReg, cmp: CmpOp, a: Reg, b: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::DSETP, [Dst::P(p), Dst::None], [Operand::R64(a), Operand::R64(b), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::DSETP,
+            [Dst::P(p), Dst::None],
+            [Operand::R64(a), Operand::R64(b), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Cmp(cmp);
         i
     }
@@ -252,52 +336,92 @@ impl KernelBuilder {
 
     /// `IADD Rd, Ra, Rb`.
     pub fn iadd(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::IADD, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::IADD,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        )
     }
 
     /// `IADD32I Rd, Ra, imm`.
     pub fn iaddi(&mut self, d: Reg, a: Reg, imm: i32) -> &mut Instr {
-        self.emit(Opcode::IADD32I, [Dst::R(d), Dst::None], [Operand::R(a), Operand::imm_i32(imm), Operand::None, Operand::None])
+        self.emit(
+            Opcode::IADD32I,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::imm_i32(imm), Operand::None, Operand::None],
+        )
     }
 
     /// `ISUB Rd, Ra, Rb`.
     pub fn isub(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::ISUB, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::ISUB,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        )
     }
 
     /// `IADD3 Rd, Ra, Rb, Rc`.
     pub fn iadd3(&mut self, d: Reg, a: Reg, b: Reg, c: Reg) -> &mut Instr {
-        self.emit(Opcode::IADD3, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None])
+        self.emit(
+            Opcode::IADD3,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None],
+        )
     }
 
     /// `IMAD Rd, Ra, Rb, Rc` — `Rd = Ra*Rb + Rc` (low 32 bits).
     pub fn imad(&mut self, d: Reg, a: Reg, b: Reg, c: Reg) -> &mut Instr {
-        self.emit(Opcode::IMAD, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None])
+        self.emit(
+            Opcode::IMAD,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None],
+        )
     }
 
     /// `IMAD32I Rd, Ra, imm, Rc`.
     pub fn imadi(&mut self, d: Reg, a: Reg, imm: i32, c: Reg) -> &mut Instr {
-        self.emit(Opcode::IMAD32I, [Dst::R(d), Dst::None], [Operand::R(a), Operand::imm_i32(imm), Operand::R(c), Operand::None])
+        self.emit(
+            Opcode::IMAD32I,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::imm_i32(imm), Operand::R(c), Operand::None],
+        )
     }
 
     /// `IMUL Rd, Ra, Rb` (low 32 bits).
     pub fn imul(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Instr {
-        self.emit(Opcode::IMUL, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None])
+        self.emit(
+            Opcode::IMUL,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        )
     }
 
     /// `SHL Rd, Ra, imm`.
     pub fn shli(&mut self, d: Reg, a: Reg, sh: u32) -> &mut Instr {
-        self.emit(Opcode::SHL, [Dst::R(d), Dst::None], [Operand::R(a), Operand::Imm(sh), Operand::None, Operand::None])
+        self.emit(
+            Opcode::SHL,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::Imm(sh), Operand::None, Operand::None],
+        )
     }
 
     /// `SHR Rd, Ra, imm` (logical).
     pub fn shri(&mut self, d: Reg, a: Reg, sh: u32) -> &mut Instr {
-        self.emit(Opcode::SHR, [Dst::R(d), Dst::None], [Operand::R(a), Operand::Imm(sh), Operand::None, Operand::None])
+        self.emit(
+            Opcode::SHR,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::Imm(sh), Operand::None, Operand::None],
+        )
     }
 
     /// `LOP3.LUT Rd, Ra, Rb, Rc` with an explicit truth table.
     pub fn lop3(&mut self, d: Reg, a: Reg, b: Reg, c: Reg, lut: u8) -> &mut Instr {
-        let i = self.emit(Opcode::LOP3, [Dst::R(d), Dst::None], [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None]);
+        let i = self.emit(
+            Opcode::LOP3,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::R(c), Operand::None],
+        );
         i.modifier = Modifier::Lut(lut);
         i
     }
@@ -319,14 +443,22 @@ impl KernelBuilder {
 
     /// `ISETP.cmp Pd, Ra, imm`.
     pub fn isetp(&mut self, p: PReg, cmp: CmpOp, a: Reg, imm: i32) -> &mut Instr {
-        let i = self.emit(Opcode::ISETP, [Dst::P(p), Dst::None], [Operand::R(a), Operand::imm_i32(imm), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::ISETP,
+            [Dst::P(p), Dst::None],
+            [Operand::R(a), Operand::imm_i32(imm), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Cmp(cmp);
         i
     }
 
     /// `ISETP.cmp Pd, Ra, Rb` (register compare).
     pub fn isetp_r(&mut self, p: PReg, cmp: CmpOp, a: Reg, b: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::ISETP, [Dst::P(p), Dst::None], [Operand::R(a), Operand::R(b), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::ISETP,
+            [Dst::P(p), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Cmp(cmp);
         i
     }
@@ -341,7 +473,11 @@ impl KernelBuilder {
         b: Reg,
         c: PReg,
     ) -> &mut Instr {
-        let i = self.emit(Opcode::ISETP, [Dst::P(p), Dst::None], [Operand::R(a), Operand::R(b), Operand::P(c), Operand::None]);
+        let i = self.emit(
+            Opcode::ISETP,
+            [Dst::P(p), Dst::None],
+            [Operand::R(a), Operand::R(b), Operand::P(c), Operand::None],
+        );
         i.modifier = Modifier::CmpBool(cmp, boolop);
         i
     }
@@ -350,33 +486,53 @@ impl KernelBuilder {
 
     /// `I2F Rd, Ra` — `f32` from signed `i32`.
     pub fn i2f(&mut self, d: Reg, a: Reg) -> &mut Instr {
-        self.emit(Opcode::I2F, [Dst::R(d), Dst::None], [Operand::R(a), Operand::None, Operand::None, Operand::None])
+        self.emit(
+            Opcode::I2F,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::None, Operand::None, Operand::None],
+        )
     }
 
     /// `I2F.64 Rd.64, Ra` — `f64` from signed `i32`.
     pub fn i2d(&mut self, d: Reg, a: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::I2F, [Dst::R64(d), Dst::None], [Operand::R(a), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::I2F,
+            [Dst::R64(d), Dst::None],
+            [Operand::R(a), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B64);
         i
     }
 
     /// `F2I.round Rd, Ra` — signed `i32` from `f32`.
     pub fn f2i(&mut self, d: Reg, a: Reg, round: RoundMode) -> &mut Instr {
-        let i = self.emit(Opcode::F2I, [Dst::R(d), Dst::None], [Operand::R(a), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::F2I,
+            [Dst::R(d), Dst::None],
+            [Operand::R(a), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Round(round);
         i
     }
 
     /// `F2F.64 Rd.64, Ra` — widen `f32` to `f64`.
     pub fn f2d(&mut self, d: Reg, a: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::F2F, [Dst::R64(d), Dst::None], [Operand::R(a), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::F2F,
+            [Dst::R64(d), Dst::None],
+            [Operand::R(a), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B64);
         i
     }
 
     /// `F2F.32 Rd, Ra.64` — narrow `f64` to `f32`.
     pub fn d2f(&mut self, d: Reg, a: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::F2F, [Dst::R(d), Dst::None], [Operand::R64(a), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::F2F,
+            [Dst::R(d), Dst::None],
+            [Operand::R64(a), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B32);
         i
     }
@@ -389,63 +545,99 @@ impl KernelBuilder {
 
     /// `LDG Rd, [Ra+off]` — 32-bit global load.
     pub fn ldg(&mut self, d: Reg, base: Reg, off: i16) -> &mut Instr {
-        let i = self.emit(Opcode::LDG, [Dst::R(d), Dst::None], [Self::mem(base, off, Space::Global), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::LDG,
+            [Dst::R(d), Dst::None],
+            [Self::mem(base, off, Space::Global), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B32);
         i
     }
 
     /// `LDG.64 Rd.64, [Ra+off]` — 64-bit global load into a register pair.
     pub fn ldg64(&mut self, d: Reg, base: Reg, off: i16) -> &mut Instr {
-        let i = self.emit(Opcode::LDG, [Dst::R64(d), Dst::None], [Self::mem(base, off, Space::Global), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::LDG,
+            [Dst::R64(d), Dst::None],
+            [Self::mem(base, off, Space::Global), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B64);
         i
     }
 
     /// `STG [Ra+off], Rb` — 32-bit global store.
     pub fn stg(&mut self, base: Reg, off: i16, v: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::STG, [Dst::None, Dst::None], [Self::mem(base, off, Space::Global), Operand::R(v), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::STG,
+            [Dst::None, Dst::None],
+            [Self::mem(base, off, Space::Global), Operand::R(v), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B32);
         i
     }
 
     /// `STG.64 [Ra+off], Rb.64` — 64-bit global store of a register pair.
     pub fn stg64(&mut self, base: Reg, off: i16, v: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::STG, [Dst::None, Dst::None], [Self::mem(base, off, Space::Global), Operand::R64(v), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::STG,
+            [Dst::None, Dst::None],
+            [Self::mem(base, off, Space::Global), Operand::R64(v), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B64);
         i
     }
 
     /// `LDS Rd, [Ra+off]` — 32-bit shared-memory load.
     pub fn lds(&mut self, d: Reg, base: Reg, off: i16) -> &mut Instr {
-        let i = self.emit(Opcode::LDS, [Dst::R(d), Dst::None], [Self::mem(base, off, Space::Shared), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::LDS,
+            [Dst::R(d), Dst::None],
+            [Self::mem(base, off, Space::Shared), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B32);
         i
     }
 
     /// `STS [Ra+off], Rb` — 32-bit shared-memory store.
     pub fn sts(&mut self, base: Reg, off: i16, v: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::STS, [Dst::None, Dst::None], [Self::mem(base, off, Space::Shared), Operand::R(v), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::STS,
+            [Dst::None, Dst::None],
+            [Self::mem(base, off, Space::Shared), Operand::R(v), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B32);
         i
     }
 
     /// `LDC Rd, [off]` — 32-bit constant load (kernel parameters).
     pub fn ldc(&mut self, d: Reg, off: i16) -> &mut Instr {
-        let i = self.emit(Opcode::LDC, [Dst::R(d), Dst::None], [Self::mem(Reg::RZ, off, Space::Const), Operand::None, Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::LDC,
+            [Dst::R(d), Dst::None],
+            [Self::mem(Reg::RZ, off, Space::Const), Operand::None, Operand::None, Operand::None],
+        );
         i.modifier = Modifier::Width(MemWidth::B32);
         i
     }
 
     /// `ATOMG.op Rd, [Ra+off], Rb` — global atomic returning the old value.
     pub fn atomg(&mut self, op: AtomOp, d: Reg, base: Reg, off: i16, v: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::ATOMG, [Dst::R(d), Dst::None], [Self::mem(base, off, Space::Global), Operand::R(v), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::ATOMG,
+            [Dst::R(d), Dst::None],
+            [Self::mem(base, off, Space::Global), Operand::R(v), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::AtomOp(op);
         i
     }
 
     /// `RED.op [Ra+off], Rb` — global reduction, no return value.
     pub fn red(&mut self, op: AtomOp, base: Reg, off: i16, v: Reg) -> &mut Instr {
-        let i = self.emit(Opcode::RED, [Dst::None, Dst::None], [Self::mem(base, off, Space::Global), Operand::R(v), Operand::None, Operand::None]);
+        let i = self.emit(
+            Opcode::RED,
+            [Dst::None, Dst::None],
+            [Self::mem(base, off, Space::Global), Operand::R(v), Operand::None, Operand::None],
+        );
         i.modifier = Modifier::AtomOp(op);
         i
     }

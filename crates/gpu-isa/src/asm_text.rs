@@ -261,13 +261,10 @@ pub fn parse_line(text: &str, line: usize) -> Result<Instr, IsaError> {
 /// propagates [`Kernel::new`] validation (e.g. out-of-range branches).
 pub fn parse_kernel(text: &str) -> Result<Kernel, IsaError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .find(|(_, l)| !l.trim().is_empty())
-        .ok_or_else(|| err(1, "empty kernel listing"))?;
+    let (_, header) =
+        lines.find(|(_, l)| !l.trim().is_empty()).ok_or_else(|| err(1, "empty kernel listing"))?;
     let header = header.trim();
-    let rest = header
-        .strip_prefix(".kernel ")
-        .ok_or_else(|| err(1, "missing `.kernel` header"))?;
+    let rest = header.strip_prefix(".kernel ").ok_or_else(|| err(1, "missing `.kernel` header"))?;
     let (name, meta) = match rest.find("//") {
         Some(pos) => (rest[..pos].trim(), &rest[pos + 2..]),
         None => (rest.trim(), ""),
@@ -303,9 +300,7 @@ pub fn parse_module(text: &str) -> Result<Module, IsaError> {
             None => return Err(err(1, "empty module listing")),
         }
     };
-    let rest = header
-        .strip_prefix(".module ")
-        .ok_or_else(|| err(1, "missing `.module` header"))?;
+    let rest = header.strip_prefix(".module ").ok_or_else(|| err(1, "missing `.module` header"))?;
     let name = match rest.find("//") {
         Some(pos) => rest[..pos].trim().to_string(),
         None => rest.trim().to_string(),

@@ -22,7 +22,13 @@ pub fn line(index: usize, i: &Instr) -> String {
 /// Disassemble a whole kernel into a listing.
 pub fn kernel(k: &Kernel) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, ".kernel {}  // {} instructions, {} shared bytes", k.name(), k.len(), k.shared_bytes());
+    let _ = writeln!(
+        out,
+        ".kernel {}  // {} instructions, {} shared bytes",
+        k.name(),
+        k.len(),
+        k.shared_bytes()
+    );
     for (idx, i) in k.instrs().iter().enumerate() {
         let _ = writeln!(out, "{}", line(idx, i));
     }

@@ -246,8 +246,7 @@ mod tests {
     fn sample_module() -> Module {
         let mut load = Instr::new(Opcode::LDG);
         load.dsts[0] = Dst::R(Reg(2));
-        load.srcs[0] =
-            Operand::Mem(MemRef { base: Reg(4), offset: -8, space: Space::Global });
+        load.srcs[0] = Operand::Mem(MemRef { base: Reg(4), offset: -8, space: Space::Global });
         let mut exit = Instr::new(Opcode::EXIT);
         exit.target = 0;
         let k1 = Kernel::new("alpha", vec![sample_instr(), load, exit], 128).expect("k1");
@@ -312,10 +311,7 @@ mod tests {
         let off = 8 + 2 + 7 + 4 + 7 + 4 + 4;
         bytes[off] = 0xFF;
         bytes[off + 1] = 0xFF;
-        assert!(matches!(
-            decode_module(&bytes),
-            Err(IsaError::UnknownOpcode { value: 0xFFFF })
-        ));
+        assert!(matches!(decode_module(&bytes), Err(IsaError::UnknownOpcode { value: 0xFFFF })));
     }
 
     #[test]

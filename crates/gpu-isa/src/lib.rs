@@ -45,8 +45,8 @@ pub mod asm;
 pub mod asm_text;
 pub mod disasm;
 pub mod encode;
-pub mod half;
 mod error;
+pub mod half;
 mod instr;
 mod modifier;
 mod opcode;

@@ -494,10 +494,7 @@ mod tests {
     #[test]
     fn modifier_display() {
         assert_eq!(Modifier::Cmp(CmpOp::Ge).to_string(), ".GE");
-        assert_eq!(
-            Modifier::CmpBool(CmpOp::Lt, BoolOp::And).to_string(),
-            ".LT.AND"
-        );
+        assert_eq!(Modifier::CmpBool(CmpOp::Lt, BoolOp::And).to_string(), ".LT.AND");
         assert_eq!(Modifier::Func(MufuFunc::Rcp).to_string(), ".RCP");
         assert_eq!(Modifier::None.to_string(), "");
     }

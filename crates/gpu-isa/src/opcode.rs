@@ -502,10 +502,7 @@ mod tests {
     #[test]
     fn every_class_is_populated() {
         for class in InstrClass::ALL {
-            assert!(
-                Opcode::ALL.iter().any(|o| o.class() == class),
-                "no opcode in class {class}"
-            );
+            assert!(Opcode::ALL.iter().any(|o| o.class() == class), "no opcode in class {class}");
         }
     }
 
@@ -515,8 +512,8 @@ mod tests {
         // have real semantics.
         for m in [
             "FADD", "FMUL", "FFMA", "FSETP", "DADD", "DMUL", "DFMA", "DSETP", "IADD", "IADD3",
-            "IMAD", "ISETP", "MOV", "S2R", "LDG", "STG", "LDS", "STS", "BRA", "EXIT", "BAR",
-            "SHL", "SHR", "LOP3", "MUFU", "I2F", "F2I", "SEL", "SHFL", "ATOMG",
+            "IMAD", "ISETP", "MOV", "S2R", "LDG", "STG", "LDS", "STS", "BRA", "EXIT", "BAR", "SHL",
+            "SHR", "LOP3", "MUFU", "I2F", "F2I", "SEL", "SHFL", "ATOMG",
         ] {
             let op = Opcode::from_mnemonic(m).expect(m);
             assert!(op.is_implemented(), "{m} must be implemented");

@@ -21,13 +21,18 @@
 //! * everything a checker script could look at — stdout, output files, exit
 //!   status, anomaly log — is captured in [`ProgramOutput`].
 
+mod checkpoint;
 mod error;
 mod program;
 mod runtime;
 mod tool;
 
+pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use error::{KernelFault, RuntimeError};
-pub use program::{run_program, Program, ProgramOutput, Termination};
+pub use program::{
+    run_program, run_program_fast_forward, run_program_recording, Program, ProgramOutput,
+    Termination,
+};
 pub use runtime::{KernelHandle, ModuleId, Runtime, RuntimeConfig};
 pub use tool::{InstrMasks, KernelLaunchInfo, LaunchRecord, RunSummary, Tool};
 
@@ -98,10 +103,7 @@ mod tests {
     fn kernel_lookup_errors() {
         let mut rt = Runtime::new(small_cfg());
         let m = rt.load_module(&test_module_bytes()).expect("load");
-        assert!(matches!(
-            rt.get_kernel(m, "missing"),
-            Err(RuntimeError::KernelNotFound { .. })
-        ));
+        assert!(matches!(rt.get_kernel(m, "missing"), Err(RuntimeError::KernelNotFound { .. })));
     }
 
     #[test]
@@ -212,6 +214,53 @@ mod tests {
         }
         let out = run_program(&Spin, small_cfg(), None);
         assert_eq!(out.termination, Termination::Hang);
+    }
+
+    /// Three launches of `square` at different offsets, with a device
+    /// read-back (and stdout trace) between launches — host behaviour that
+    /// depends on device memory contents at every step.
+    struct Chain;
+    impl Program for Chain {
+        fn name(&self) -> &str {
+            "chain"
+        }
+        fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+            let m = rt.load_module(&test_module_bytes())?;
+            let k = rt.get_kernel(m, "square")?;
+            let out = rt.alloc(3 * 64 * 4)?;
+            for i in 0..3u32 {
+                let slice = out.offset(i * 64 * 4);
+                rt.launch(k, 2u32, 32u32, &[slice.addr()])?;
+                let v = rt.read_u32s(slice, 64)?;
+                rt.println(format!("launch {i}: sum {}", v.iter().sum::<u32>()));
+            }
+            rt.synchronize()?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn fast_forward_reproduces_the_full_run() {
+        let (golden, store) = run_program_recording(&Chain, small_cfg());
+        assert!(golden.termination.is_clean());
+        assert_eq!(store.len(), 3);
+        assert_eq!(golden.prefix_instrs_skipped, 0);
+        let store = store.into_shared();
+
+        for upto in 0..=3u64 {
+            let out = run_program_fast_forward(&Chain, small_cfg(), None, Arc::clone(&store), upto);
+            assert_eq!(out.stdout, golden.stdout, "fast-forward to {upto}");
+            assert_eq!(out.files, golden.files, "fast-forward to {upto}");
+            assert_eq!(out.summary, golden.summary, "fast-forward to {upto}");
+            assert_eq!(
+                out.prefix_instrs_skipped,
+                store.instrs_before(upto),
+                "fast-forward to {upto} skipped exactly the prefix"
+            );
+            if upto > 0 {
+                assert!(out.prefix_instrs_skipped > 0);
+            }
+        }
     }
 
     /// A tool that counts module loads, instruments every instruction of

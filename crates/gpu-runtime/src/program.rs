@@ -1,11 +1,13 @@
 //! The program abstraction: a host application driving the runtime.
 
+use crate::checkpoint::CheckpointStore;
 use crate::error::RuntimeError;
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::tool::{RunSummary, Tool};
 use gpu_sim::TrapInfo;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How a program run ended.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,6 +46,9 @@ pub struct ProgramOutput {
     pub anomalies: Vec<TrapInfo>,
     /// Launch-level statistics.
     pub summary: RunSummary,
+    /// Dynamic instructions the run skipped by fast-forwarding the
+    /// pre-injection prefix from checkpoints (0 for ordinary runs).
+    pub prefix_instrs_skipped: u64,
 }
 
 impl ProgramOutput {
@@ -83,9 +88,49 @@ pub fn run_program(
     cfg: RuntimeConfig,
     tool: Option<Box<dyn Tool>>,
 ) -> ProgramOutput {
+    drive(program, cfg, tool, false, None).0
+}
+
+/// Run a program while recording a launch-boundary [`CheckpointStore`] —
+/// how a campaign's golden run captures the state injection runs
+/// fast-forward from.
+pub fn run_program_recording(
+    program: &dyn Program,
+    cfg: RuntimeConfig,
+) -> (ProgramOutput, CheckpointStore) {
+    let (out, store) = drive(program, cfg, None, true, None);
+    (out, store.unwrap_or_default())
+}
+
+/// Run a program with launches below global index `upto` replayed from a
+/// golden checkpoint store instead of simulated — the injection-run fast
+/// path. `out.prefix_instrs_skipped` reports the avoided work.
+pub fn run_program_fast_forward(
+    program: &dyn Program,
+    cfg: RuntimeConfig,
+    tool: Option<Box<dyn Tool>>,
+    store: Arc<CheckpointStore>,
+    upto: u64,
+) -> ProgramOutput {
+    drive(program, cfg, tool, false, Some((store, upto))).0
+}
+
+fn drive(
+    program: &dyn Program,
+    cfg: RuntimeConfig,
+    tool: Option<Box<dyn Tool>>,
+    record_checkpoints: bool,
+    fast_forward: Option<(Arc<CheckpointStore>, u64)>,
+) -> (ProgramOutput, Option<CheckpointStore>) {
     let mut rt = Runtime::new(cfg);
     if let Some(t) = tool {
         rt.attach_tool(t);
+    }
+    if record_checkpoints {
+        rt.record_checkpoints();
+    }
+    if let Some((store, upto)) = fast_forward {
+        rt.fast_forward(store, upto);
     }
     let result = program.run(&mut rt);
     let summary = rt.finish();
@@ -98,6 +143,11 @@ pub fn run_program(
             Termination::Normal { exit_code: 1 }
         }
     };
+    let checkpoints = rt.take_checkpoints();
+    let prefix_instrs_skipped = rt.prefix_instrs_skipped();
     let (stdout, files, anomalies) = rt.into_output();
-    ProgramOutput { stdout, files, termination, anomalies, summary }
+    (
+        ProgramOutput { stdout, files, termination, anomalies, summary, prefix_instrs_skipped },
+        checkpoints,
+    )
 }

@@ -1,10 +1,11 @@
 //! The runtime: module loading, launches, memory, and sticky errors.
 
+use crate::checkpoint::{Checkpoint, CheckpointStore, FastForward};
 use crate::error::{KernelFault, RuntimeError};
 use crate::tool::{InstrMasks, KernelLaunchInfo, LaunchRecord, RunSummary, Tool};
 use gpu_isa::{encode, Module};
 use gpu_sim::{
-    Dim3, DevPtr, GlobalMem, Gpu, GpuConfig, Instrumentation, Launch, SimError, TrapInfo,
+    DevPtr, Dim3, GlobalMem, Gpu, GpuConfig, Instrumentation, Launch, SimError, TrapInfo,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -58,6 +59,8 @@ pub struct Runtime {
     stdout: String,
     files: BTreeMap<String, Vec<u8>>,
     hang: Option<TrapInfo>,
+    checkpoint_log: Option<CheckpointStore>,
+    fast_forward: Option<FastForward>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -87,7 +90,46 @@ impl Runtime {
             stdout: String::new(),
             files: BTreeMap::new(),
             hang: None,
+            checkpoint_log: None,
+            fast_forward: None,
         }
+    }
+
+    // --- checkpointing -----------------------------------------------------
+
+    /// Record a [`Checkpoint`] at every launch boundary (how the golden run
+    /// populates the store injection runs fast-forward from). Collect the
+    /// result with [`Runtime::take_checkpoints`].
+    pub fn record_checkpoints(&mut self) {
+        self.checkpoint_log = Some(CheckpointStore::new());
+    }
+
+    /// Detach and return the checkpoints recorded so far, disabling further
+    /// recording. `None` if recording was never enabled.
+    pub fn take_checkpoints(&mut self) -> Option<CheckpointStore> {
+        self.checkpoint_log.take()
+    }
+
+    /// Replay launches below global index `upto` from a golden checkpoint
+    /// store instead of simulating them.
+    ///
+    /// The host application still runs in full (its allocations, copies, and
+    /// device reads behave exactly as in the golden run, because each
+    /// replayed launch restores the recorded post-launch memory image), but
+    /// the pre-injection kernel prefix costs O(pages) per launch instead of
+    /// a full simulation. Launches at or beyond `upto` — the injection
+    /// target and its tail — simulate normally.
+    ///
+    /// If the observed launch sequence ever diverges from the recorded one
+    /// (it cannot before an injection fires, but this is checked), the
+    /// runtime falls back to full simulation from that point on.
+    pub fn fast_forward(&mut self, store: Arc<CheckpointStore>, upto: u64) {
+        self.fast_forward = Some(FastForward { store, upto, skipped_instrs: 0 });
+    }
+
+    /// Dynamic instructions skipped by checkpoint replay this run.
+    pub fn prefix_instrs_skipped(&self) -> u64 {
+        self.fast_forward.as_ref().map_or(0, |ff| ff.skipped_instrs)
     }
 
     /// Attach a tool (the `LD_PRELOAD=tool.so` analog). At most one tool can
@@ -222,8 +264,7 @@ impl Runtime {
     ) -> Result<(), RuntimeError> {
         let grid = grid.into();
         let block = block.into();
-        let module =
-            Arc::clone(self.modules.get(kernel.module).ok_or(RuntimeError::BadHandle)?);
+        let module = Arc::clone(self.modules.get(kernel.module).ok_or(RuntimeError::BadHandle)?);
         let k = module.kernels().get(kernel.kernel).ok_or(RuntimeError::BadHandle)?;
 
         let instance = {
@@ -245,21 +286,48 @@ impl Runtime {
             if let Some(tool) = self.tool.as_deref_mut() {
                 tool.after_launch(&record);
             }
+            self.log_checkpoint(&record);
             self.records.push(record);
             return Ok(());
         }
 
         let info = KernelLaunchInfo { kernel: k, instance, grid, block };
-        let masks: Option<InstrMasks> =
-            self.tool.as_deref_mut().and_then(|t| t.instrument(&info));
 
-        let launch = Launch {
-            kernel: k,
-            grid,
-            block,
-            params,
-            instr_budget: self.cfg.instr_budget,
-        };
+        // Pre-injection prefix: replay from the golden checkpoint instead of
+        // simulating. The tool still observes the launch (it declines to
+        // instrument anything before its target), and memory lands on the
+        // exact golden post-launch image.
+        let global_idx = self.records.len() as u64;
+        if let Some(ff) = &mut self.fast_forward {
+            if global_idx < ff.upto {
+                match ff.store.get(global_idx) {
+                    Some(cp)
+                        if cp.record.kernel == k.name()
+                            && cp.record.instance == instance
+                            && !cp.record.skipped
+                            && cp.record.trap.is_none() =>
+                    {
+                        let record = cp.record.clone();
+                        self.mem.restore(&cp.mem);
+                        ff.skipped_instrs += record.stats.dyn_instrs;
+                        if let Some(tool) = self.tool.as_deref_mut() {
+                            // Parity with a full run: the tool is offered the
+                            // launch (masks are unused — nothing simulates).
+                            let _ = tool.instrument(&info);
+                            tool.after_launch(&record);
+                        }
+                        self.records.push(record);
+                        return Ok(());
+                    }
+                    // Divergence from the recorded sequence (or a recorded
+                    // skip): fall back to full simulation from here on.
+                    _ => self.fast_forward = None,
+                }
+            }
+        }
+        let masks: Option<InstrMasks> = self.tool.as_deref_mut().and_then(|t| t.instrument(&info));
+
+        let launch = Launch { kernel: k, grid, block, params, instr_budget: self.cfg.instr_budget };
         let result = match (&mut self.tool, masks) {
             (Some(tool), Some(m)) => {
                 let mut ins = Instrumentation {
@@ -289,20 +357,23 @@ impl Runtime {
             Err(other) => return Err(RuntimeError::LaunchConfig(other.to_string())),
         };
 
-        let record = LaunchRecord {
-            kernel: k.name().to_string(),
-            instance,
-            stats,
-            trap,
-            skipped: false,
-        };
+        let record =
+            LaunchRecord { kernel: k.name().to_string(), instance, stats, trap, skipped: false };
         if let Some(tool) = self.tool.as_deref_mut() {
             tool.after_launch(&record);
         }
+        self.log_checkpoint(&record);
         self.records.push(record);
         match fatal {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+
+    /// Capture a launch-boundary checkpoint if recording is enabled.
+    fn log_checkpoint(&mut self, record: &LaunchRecord) {
+        if let Some(log) = &mut self.checkpoint_log {
+            log.push(Checkpoint { mem: self.mem.snapshot(), record: record.clone() });
         }
     }
 

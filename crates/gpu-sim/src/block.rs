@@ -12,7 +12,7 @@
 use crate::cycles::{latency, HOOK_CYCLES};
 use crate::exec::{exec_scalar, ExecEnv, Flow};
 use crate::grid::Dim3;
-use crate::hooks::{Instrumentation, InstrSite, ThreadCtx, ThreadMeta};
+use crate::hooks::{InstrSite, Instrumentation, ThreadCtx, ThreadMeta};
 use crate::memory::{GlobalMem, SharedMem};
 use crate::regfile::RegFile;
 use crate::trap::{TrapInfo, TrapKind};
@@ -148,9 +148,8 @@ impl BlockState {
     ) -> Result<StepOutcome, TrapInfo> {
         let lo = w * WARP_SIZE;
         let hi = ((w + 1) * WARP_SIZE).min(self.threads.len());
-        let runnable: Vec<usize> = (lo..hi)
-            .filter(|&t| !self.threads[t].exited && !self.threads[t].at_barrier)
-            .collect();
+        let runnable: Vec<usize> =
+            (lo..hi).filter(|&t| !self.threads[t].exited && !self.threads[t].at_barrier).collect();
         if runnable.is_empty() {
             return Ok(StepOutcome::Idle);
         }

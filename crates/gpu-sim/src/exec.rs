@@ -137,7 +137,9 @@ impl ExecEnv<'_> {
             Space::Global => self.global.store(addr, width, v),
             Space::Shared => self.shared.store(addr, width, v),
             Space::Local => local_store(self.local, addr, width, v),
-            Space::Const => Err(TrapKind::OutOfBounds { space: Space::Const, addr, width: width.bytes() }),
+            Space::Const => {
+                Err(TrapKind::OutOfBounds { space: Space::Const, addr, width: width.bytes() })
+            }
         }
     }
 
@@ -277,9 +279,7 @@ pub fn exec_scalar(i: &Instr, env: &mut ExecEnv<'_>) -> Result<Flow, TrapKind> {
             env.write_dst_u32(i, v.to_bits());
         }
         FFma => {
-            let v = env
-                .rd_f32(i.srcs[0])
-                .mul_add(env.rd_f32(i.srcs[1]), env.rd_f32(i.srcs[2]));
+            let v = env.rd_f32(i.srcs[0]).mul_add(env.rd_f32(i.srcs[1]), env.rd_f32(i.srcs[2]));
             env.write_dst_u32(i, v.to_bits());
         }
         FMnMx => {
@@ -288,7 +288,8 @@ pub fn exec_scalar(i: &Instr, env: &mut ExecEnv<'_>) -> Result<Flow, TrapKind> {
             env.write_dst_u32(i, if min { a.min(b) } else { a.max(b) }.to_bits());
         }
         FSel => {
-            let v = if env.rd_bool(i.srcs[2]) { env.rd_u32(i.srcs[0]) } else { env.rd_u32(i.srcs[1]) };
+            let v =
+                if env.rd_bool(i.srcs[2]) { env.rd_u32(i.srcs[0]) } else { env.rd_u32(i.srcs[1]) };
             env.write_dst_u32(i, v);
         }
         FSet => {
@@ -381,9 +382,7 @@ pub fn exec_scalar(i: &Instr, env: &mut ExecEnv<'_>) -> Result<Flow, TrapKind> {
             env.write_dst_u64(i, v.to_bits());
         }
         DFma => {
-            let v = env
-                .rd_f64(i.srcs[0])
-                .mul_add(env.rd_f64(i.srcs[1]), env.rd_f64(i.srcs[2]));
+            let v = env.rd_f64(i.srcs[0]).mul_add(env.rd_f64(i.srcs[1]), env.rd_f64(i.srcs[2]));
             env.write_dst_u64(i, v.to_bits());
         }
         DMnMx => {
@@ -562,7 +561,8 @@ pub fn exec_scalar(i: &Instr, env: &mut ExecEnv<'_>) -> Result<Flow, TrapKind> {
             }
         },
         Sel => {
-            let v = if env.rd_bool(i.srcs[2]) { env.rd_u32(i.srcs[0]) } else { env.rd_u32(i.srcs[1]) };
+            let v =
+                if env.rd_bool(i.srcs[2]) { env.rd_u32(i.srcs[0]) } else { env.rd_u32(i.srcs[1]) };
             env.write_dst_u32(i, v);
         }
         Prmt => {
@@ -631,7 +631,11 @@ pub fn exec_scalar(i: &Instr, env: &mut ExecEnv<'_>) -> Result<Flow, TrapKind> {
         St => {
             let m = i.mem_ref().ok_or(TrapKind::IllegalInstruction)?;
             let w = mem_width(i.modifier);
-            let v = if w == MemWidth::B64 { env.rd_u64(i.srcs[1]) } else { env.rd_u32(i.srcs[1]) as u64 };
+            let v = if w == MemWidth::B64 {
+                env.rd_u64(i.srcs[1])
+            } else {
+                env.rd_u32(i.srcs[1]) as u64
+            };
             env.mem_store(m, w, v)?;
         }
         Atom | Red => {
@@ -1108,7 +1112,8 @@ mod fp16_tests {
         rf.write(Reg(2), pack(2.0, 4.0));
         let mut i = Instr::new(Opcode::HMNMX2);
         i.dsts[0] = Dst::R(Reg(0));
-        i.srcs = [Operand::R(Reg(1)), Operand::R(Reg(2)), Operand::P(gpu_isa::PReg::PT), Operand::None];
+        i.srcs =
+            [Operand::R(Reg(1)), Operand::R(Reg(2)), Operand::P(gpu_isa::PReg::PT), Operand::None];
         run_one(&i, &mut rf).expect("exec");
         assert_eq!(rf.read(Reg(0)), pack(1.0, 4.0), "min per half");
     }

@@ -30,11 +30,7 @@ pub struct GpuConfig {
 
 impl Default for GpuConfig {
     fn default() -> Self {
-        GpuConfig {
-            num_sms: 80,
-            local_mem_bytes: 1024,
-            default_instr_budget: 2_000_000_000,
-        }
+        GpuConfig { num_sms: 80, local_mem_bytes: 1024, default_instr_budget: 2_000_000_000 }
     }
 }
 
@@ -163,7 +159,8 @@ impl Gpu {
             let sm = b % self.cfg.num_sms;
             let mut block =
                 BlockState::new(l.kernel, l.grid, l.block, b, sm, self.cfg.local_mem_bytes);
-            let run = block.run(l.kernel, global, &param_bytes, &mut counters, &mut instrumentation);
+            let run =
+                block.run(l.kernel, global, &param_bytes, &mut counters, &mut instrumentation);
             if let Err(info) = run {
                 return Err(SimError::Trap {
                     info,

@@ -41,7 +41,7 @@ pub use exec::{exec_scalar, ExecEnv, Flow};
 pub use gpu::{Gpu, GpuConfig, Launch, LaunchStats, MAX_BLOCK_THREADS, MAX_PARAM_BYTES};
 pub use grid::Dim3;
 pub use hooks::{ExecHook, InstrSite, Instrumentation, ThreadCtx, ThreadMeta};
-pub use memory::{DevPtr, GlobalMem, MemError, SharedMem};
+pub use memory::{DevPtr, GlobalMem, MemError, MemSnapshot, SharedMem, PAGE_SIZE};
 pub use regfile::RegFile;
 pub use trap::{TrapInfo, TrapKind};
 
@@ -395,7 +395,13 @@ mod integration_tests {
         let mut mem = GlobalMem::new(4096);
         assert!(matches!(
             g.launch(
-                &Launch { kernel: &kernel, grid: Dim3::from(0), block: Dim3::from(32), params: &[], instr_budget: None },
+                &Launch {
+                    kernel: &kernel,
+                    grid: Dim3::from(0),
+                    block: Dim3::from(32),
+                    params: &[],
+                    instr_budget: None
+                },
                 &mut mem,
                 None
             ),
@@ -403,7 +409,13 @@ mod integration_tests {
         ));
         assert!(matches!(
             g.launch(
-                &Launch { kernel: &kernel, grid: Dim3::from(1), block: Dim3::from(2048), params: &[], instr_budget: None },
+                &Launch {
+                    kernel: &kernel,
+                    grid: Dim3::from(1),
+                    block: Dim3::from(2048),
+                    params: &[],
+                    instr_budget: None
+                },
                 &mut mem,
                 None
             ),
@@ -558,7 +570,13 @@ mod integration_tests {
         };
         assert!(matches!(
             g.launch(
-                &Launch { kernel: &kernel, grid: Dim3::from(1), block: Dim3::from(1), params: &[], instr_budget: None },
+                &Launch {
+                    kernel: &kernel,
+                    grid: Dim3::from(1),
+                    block: Dim3::from(1),
+                    params: &[],
+                    instr_budget: None
+                },
                 &mut mem,
                 Some(&mut ins)
             ),
@@ -582,7 +600,13 @@ mod integration_tests {
         let params = setup(&mut mem);
         let plain = g
             .launch(
-                &Launch { kernel: &kernel, grid: Dim3::from(4), block: Dim3::from(64), params: &params, instr_budget: None },
+                &Launch {
+                    kernel: &kernel,
+                    grid: Dim3::from(4),
+                    block: Dim3::from(64),
+                    params: &params,
+                    instr_budget: None,
+                },
                 &mut mem,
                 None,
             )
@@ -601,7 +625,13 @@ mod integration_tests {
         };
         let instrumented = g
             .launch(
-                &Launch { kernel: &kernel, grid: Dim3::from(4), block: Dim3::from(64), params: &params, instr_budget: None },
+                &Launch {
+                    kernel: &kernel,
+                    grid: Dim3::from(4),
+                    block: Dim3::from(64),
+                    params: &params,
+                    instr_budget: None,
+                },
                 &mut mem,
                 Some(&mut ins),
             )

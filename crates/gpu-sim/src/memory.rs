@@ -9,6 +9,7 @@ use crate::trap::TrapKind;
 use gpu_isa::{MemWidth, Space};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A device pointer into global memory (32-bit address space).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -58,7 +59,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::OutOfMemory { requested, available } => {
-                write!(f, "device out of memory: requested {requested} bytes, {available} available")
+                write!(
+                    f,
+                    "device out of memory: requested {requested} bytes, {available} available"
+                )
             }
             MemError::BadCopy { addr, len } => {
                 write!(f, "host copy of {len} bytes at {addr:#x} touches unallocated memory")
@@ -71,18 +75,60 @@ impl std::error::Error for MemError {}
 
 const NULL_PAGE: u32 = 4096;
 
-/// Device global memory: a bump-allocated, bounds-checked byte array.
+/// Page granularity of global memory (one null page's worth).
+pub const PAGE_SIZE: u32 = 4096;
+
+type Page = [u8; PAGE_SIZE as usize];
+
+/// A zero page is represented as `None` — untouched memory costs nothing.
+type PageSlot = Option<Arc<Page>>;
+
+/// An O(resident-pages) copy-on-write snapshot of [`GlobalMem`].
+///
+/// Taking one clones only the page table (one `Arc` pointer per resident
+/// page, `None` per untouched page), never page contents. Restoring swaps
+/// the page table back in; pages are shared until the next write dirties
+/// them. Snapshots are `Send + Sync`, so checkpoint stores can hand the
+/// same snapshot to many injection workers.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    pages: Vec<PageSlot>,
+    brk: u32,
+    capacity: u32,
+}
+
+impl MemSnapshot {
+    /// Number of resident (non-zero, materialized) pages captured.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Allocation break captured by the snapshot.
+    pub fn brk(&self) -> u32 {
+        self.brk
+    }
+}
+
+/// Device global memory: a bump-allocated, bounds-checked address space
+/// backed by copy-on-write pages.
+///
+/// Pages start as `None` (implicitly all-zero), so a fresh 64 MiB device
+/// memory costs one pointer-sized slot per page rather than 64 MiB of
+/// zeroed bytes. Writes materialize pages; [`GlobalMem::snapshot`] and
+/// [`GlobalMem::restore`] share them by reference count.
 #[derive(Debug, Clone)]
 pub struct GlobalMem {
-    data: Vec<u8>,
+    pages: Vec<PageSlot>,
+    capacity: u32,
     brk: u32,
 }
 
 impl GlobalMem {
     /// Create a device memory of `capacity` bytes (plus the null page).
     pub fn new(capacity: u32) -> GlobalMem {
-        let total = NULL_PAGE as usize + capacity as usize;
-        GlobalMem { data: vec![0; total], brk: NULL_PAGE }
+        let total = NULL_PAGE as u64 + capacity as u64;
+        let num_pages = total.div_ceil(PAGE_SIZE as u64) as usize;
+        GlobalMem { pages: vec![None; num_pages], capacity: total as u32, brk: NULL_PAGE }
     }
 
     /// Allocate `size` bytes aligned to 256 (like `cudaMalloc`).
@@ -93,10 +139,10 @@ impl GlobalMem {
     pub fn alloc(&mut self, size: u32) -> Result<DevPtr, MemError> {
         let aligned = self.brk.next_multiple_of(256);
         let end = aligned as u64 + size as u64;
-        if end > self.data.len() as u64 {
+        if end > self.capacity as u64 {
             return Err(MemError::OutOfMemory {
                 requested: size,
-                available: (self.data.len() as u64).saturating_sub(aligned as u64) as u32,
+                available: (self.capacity as u64).saturating_sub(aligned as u64) as u32,
             });
         }
         self.brk = end as u32;
@@ -106,6 +152,76 @@ impl GlobalMem {
     /// Bytes currently allocated (excluding the null page).
     pub fn allocated(&self) -> u32 {
         self.brk - NULL_PAGE
+    }
+
+    /// Number of materialized (written-to) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Capture a copy-on-write snapshot of the current contents.
+    ///
+    /// Cost is one refcount bump per resident page — independent of how
+    /// many bytes the pages hold.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot { pages: self.pages.clone(), brk: self.brk, capacity: self.capacity }
+    }
+
+    /// Restore contents and allocation state from a snapshot.
+    ///
+    /// The snapshot's pages are shared, not copied; subsequent writes to
+    /// either side dirty only the touched page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a device of a different capacity.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        assert_eq!(
+            self.capacity, snap.capacity,
+            "snapshot restored onto a device of different capacity"
+        );
+        self.pages = snap.pages.clone();
+        self.brk = snap.brk;
+    }
+
+    /// Mutable access to the page containing `addr`, materializing or
+    /// un-sharing it as needed (the copy-on-write fault path).
+    #[inline]
+    fn page_mut(&mut self, addr: usize) -> &mut Page {
+        let slot = &mut self.pages[addr / PAGE_SIZE as usize];
+        Arc::make_mut(slot.get_or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize])))
+    }
+
+    /// Copy `dst.len()` bytes out, spanning pages as needed (range already
+    /// bounds-checked).
+    fn read_bytes(&self, addr: u32, dst: &mut [u8]) {
+        let mut off = addr as usize;
+        let mut done = 0;
+        while done < dst.len() {
+            let in_page = off % PAGE_SIZE as usize;
+            let run = (PAGE_SIZE as usize - in_page).min(dst.len() - done);
+            match &self.pages[off / PAGE_SIZE as usize] {
+                Some(page) => dst[done..done + run].copy_from_slice(&page[in_page..in_page + run]),
+                None => dst[done..done + run].fill(0),
+            }
+            off += run;
+            done += run;
+        }
+    }
+
+    /// Copy `src` in, spanning pages as needed (range already
+    /// bounds-checked).
+    fn write_bytes(&mut self, addr: u32, src: &[u8]) {
+        let mut off = addr as usize;
+        let mut done = 0;
+        while done < src.len() {
+            let in_page = off % PAGE_SIZE as usize;
+            let run = (PAGE_SIZE as usize - in_page).min(src.len() - done);
+            let page = self.page_mut(off);
+            page[in_page..in_page + run].copy_from_slice(&src[done..done + run]);
+            off += run;
+            done += run;
+        }
     }
 
     fn check(&self, addr: u32, len: u32) -> Result<usize, MemError> {
@@ -123,8 +239,8 @@ impl GlobalMem {
     ///
     /// Returns [`MemError::BadCopy`] if the range is not fully allocated.
     pub fn copy_from_host(&mut self, dst: DevPtr, src: &[u8]) -> Result<(), MemError> {
-        let off = self.check(dst.0, src.len() as u32)?;
-        self.data[off..off + src.len()].copy_from_slice(src);
+        self.check(dst.0, src.len() as u32)?;
+        self.write_bytes(dst.0, src);
         Ok(())
     }
 
@@ -134,8 +250,8 @@ impl GlobalMem {
     ///
     /// Returns [`MemError::BadCopy`] if the range is not fully allocated.
     pub fn copy_to_host(&self, src: DevPtr, dst: &mut [u8]) -> Result<(), MemError> {
-        let off = self.check(src.0, dst.len() as u32)?;
-        dst.copy_from_slice(&self.data[off..off + dst.len()]);
+        self.check(src.0, dst.len() as u32)?;
+        self.read_bytes(src.0, dst);
         Ok(())
     }
 
@@ -214,7 +330,11 @@ impl GlobalMem {
     pub fn load(&self, addr: u32, width: MemWidth) -> Result<u64, TrapKind> {
         let w = width.bytes();
         device_check(Space::Global, addr, w, NULL_PAGE, self.brk)?;
-        Ok(load_le(&self.data, addr as usize, w))
+        // Aligned accesses of ≤ 8 bytes never straddle a page boundary.
+        match &self.pages[addr as usize / PAGE_SIZE as usize] {
+            Some(page) => Ok(load_le(&page[..], addr as usize % PAGE_SIZE as usize, w)),
+            None => Ok(0),
+        }
     }
 
     /// Device-side store (bounds- and alignment-checked).
@@ -226,7 +346,9 @@ impl GlobalMem {
     pub fn store(&mut self, addr: u32, width: MemWidth, value: u64) -> Result<(), TrapKind> {
         let w = width.bytes();
         device_check(Space::Global, addr, w, NULL_PAGE, self.brk)?;
-        store_le(&mut self.data, addr as usize, w, value);
+        // Aligned accesses of ≤ 8 bytes never straddle a page boundary.
+        let page = self.page_mut(addr as usize);
+        store_le(&mut page[..], addr as usize % PAGE_SIZE as usize, w, value);
         Ok(())
     }
 }
@@ -328,7 +450,12 @@ pub fn local_load(local: &[u8], addr: u32, width: MemWidth) -> Result<u64, TrapK
 ///
 /// Returns the [`TrapKind`] a faulting access raises on device.
 #[inline]
-pub fn local_store(local: &mut [u8], addr: u32, width: MemWidth, value: u64) -> Result<(), TrapKind> {
+pub fn local_store(
+    local: &mut [u8],
+    addr: u32,
+    width: MemWidth,
+    value: u64,
+) -> Result<(), TrapKind> {
     let w = width.bytes();
     device_check(Space::Local, addr, w, 0, local.len() as u32)?;
     store_le(local, addr as usize, w, value);
@@ -408,14 +535,8 @@ mod tests {
     fn device_misaligned_traps() {
         let mut m = GlobalMem::new(4096);
         let p = m.alloc(64).expect("alloc");
-        assert!(matches!(
-            m.load(p.0 + 2, MemWidth::B32),
-            Err(TrapKind::Misaligned { .. })
-        ));
-        assert!(matches!(
-            m.load(p.0 + 4, MemWidth::B64),
-            Err(TrapKind::Misaligned { .. })
-        ));
+        assert!(matches!(m.load(p.0 + 2, MemWidth::B32), Err(TrapKind::Misaligned { .. })));
+        assert!(matches!(m.load(p.0 + 4, MemWidth::B64), Err(TrapKind::Misaligned { .. })));
     }
 
     #[test]
@@ -447,6 +568,78 @@ mod tests {
         assert_eq!(s.load(60, MemWidth::B32).expect("load"), 5);
         assert!(s.store(64, MemWidth::B32, 5).is_err());
         assert!(s.load(61, MemWidth::B32).is_err(), "misaligned");
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero_without_materializing() {
+        let mut m = GlobalMem::new(1 << 20);
+        let p = m.alloc(64 * 1024).expect("alloc");
+        assert_eq!(m.resident_pages(), 0, "allocation alone must not materialize pages");
+        assert_eq!(m.load(p.0, MemWidth::B64).expect("load"), 0);
+        assert_eq!(m.read_u32s(p, 4).expect("read"), vec![0; 4]);
+        assert_eq!(m.resident_pages(), 0, "reads must not materialize pages");
+        m.store(p.0, MemWidth::B8, 1).expect("store");
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn host_copy_spans_page_boundary() {
+        let mut m = GlobalMem::new(1 << 20);
+        let p = m.alloc(4 * PAGE_SIZE).expect("alloc");
+        // 256-aligned base, offset so the copy straddles two page edges.
+        let data: Vec<u8> = (0..(2 * PAGE_SIZE + 100) as usize).map(|i| (i % 251) as u8).collect();
+        let dst = p.offset(PAGE_SIZE - 50);
+        m.copy_from_host(dst, &data).expect("write");
+        let mut back = vec![0u8; data.len()];
+        m.copy_to_host(dst, &mut back).expect("read");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut m = GlobalMem::new(1 << 20);
+        let p = m.alloc(4096).expect("alloc");
+        m.write_u32s(p, &[1, 2, 3, 4]).expect("write");
+        let snap = m.snapshot();
+        assert_eq!(snap.resident_pages(), 1);
+
+        m.write_u32s(p, &[9, 9, 9, 9]).expect("overwrite");
+        let q = m.alloc(4096).expect("alloc after snapshot");
+        m.write_u32s(q, &[7]).expect("write");
+
+        m.restore(&snap);
+        assert_eq!(m.read_u32s(p, 4).expect("read"), vec![1, 2, 3, 4]);
+        assert_eq!(m.allocated(), snap.brk() - NULL_PAGE, "brk restored");
+        assert!(m.read_u32s(q, 1).is_err(), "post-snapshot allocation rolled back");
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut m = GlobalMem::new(1 << 20);
+        let p = m.alloc(64).expect("alloc");
+        m.write_u32s(p, &[42]).expect("write");
+        let snap = m.snapshot();
+        m.write_u32s(p, &[77]).expect("write");
+
+        let mut other = GlobalMem::new(1 << 20);
+        other.restore(&snap);
+        assert_eq!(other.read_u32s(p, 1).expect("read"), vec![42], "snapshot kept old value");
+        assert_eq!(m.read_u32s(p, 1).expect("read"), vec![77], "live memory kept new value");
+
+        // Writing through the restored copy must not leak into the snapshot.
+        other.write_u32s(p, &[5]).expect("write");
+        let mut third = GlobalMem::new(1 << 20);
+        third.restore(&snap);
+        assert_eq!(third.read_u32s(p, 1).expect("read"), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacity")]
+    fn restore_rejects_capacity_mismatch() {
+        let m = GlobalMem::new(1 << 20);
+        let snap = m.snapshot();
+        let mut other = GlobalMem::new(1 << 16);
+        other.restore(&snap);
     }
 
     #[test]

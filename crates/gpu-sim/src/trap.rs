@@ -63,7 +63,10 @@ impl fmt::Display for TrapKind {
                 write!(f, "out-of-bounds {space} access of {width} bytes at {addr:#x}")
             }
             TrapKind::Misaligned { space, addr, align } => {
-                write!(f, "misaligned {space} access at {addr:#x} (requires {align}-byte alignment)")
+                write!(
+                    f,
+                    "misaligned {space} access at {addr:#x} (requires {align}-byte alignment)"
+                )
             }
             TrapKind::IllegalInstruction => write!(f, "illegal instruction"),
             TrapKind::InvalidBranch { target } => write!(f, "invalid branch target {target}"),

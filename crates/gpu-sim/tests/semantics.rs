@@ -3,8 +3,8 @@
 
 use gpu_isa::asm::KernelBuilder;
 use gpu_isa::{
-    AtomOp, CmpOp, Dst, Instr, MemWidth, Modifier, Opcode, Operand, PReg, Reg, RoundMode,
-    ShflMode, SpecialReg,
+    AtomOp, CmpOp, Dst, Instr, MemWidth, Modifier, Opcode, Operand, PReg, Reg, RoundMode, ShflMode,
+    SpecialReg,
 };
 use gpu_sim::{Dim3, GlobalMem, Gpu, GpuConfig, Launch};
 
@@ -26,10 +26,7 @@ fn run_kernel(kernel: &gpu_isa::Kernel, threads: u32, params: &[u32], mem: &mut 
 
 /// Build a kernel that loads `in[tid]` into R1 and a second operand
 /// `in2[tid]` into R2, runs `body`, and stores R0 to `out[tid]`.
-fn unary_binary_harness(
-    name: &str,
-    body: impl FnOnce(&mut KernelBuilder),
-) -> gpu_isa::Kernel {
+fn unary_binary_harness(name: &str, body: impl FnOnce(&mut KernelBuilder)) -> gpu_isa::Kernel {
     let mut k = KernelBuilder::new(name);
     let (out, a, b, tid, off) = (Reg(4), Reg(5), Reg(6), Reg(7), Reg(8));
     k.ldc(out, 0);
@@ -242,12 +239,8 @@ fn icmp_and_fcmp_select() {
             let mut i = Instr::new(Opcode::FCMP);
             i.modifier = Modifier::Cmp(CmpOp::Lt);
             i.dsts[0] = Dst::R(Reg(0));
-            i.srcs = [
-                Operand::R(Reg(1)),
-                Operand::R(Reg(2)),
-                Operand::imm_f32(-1.0),
-                Operand::None,
-            ];
+            i.srcs =
+                [Operand::R(Reg(1)), Operand::R(Reg(2)), Operand::imm_f32(-1.0), Operand::None];
             k.push(i);
         },
         &[5],
@@ -475,7 +468,7 @@ fn dset_and_dsetp_compare_doubles() {
     k.i2d(Reg(10), tid); // pair R10 = tid as f64
     k.movi(Reg(1), 5);
     k.i2d(Reg(12), Reg(1)); // pair R12 = 5.0
-    // R0 = (tid < 5) ? mask : 0
+                            // R0 = (tid < 5) ? mask : 0
     let mut d = Instr::new(Opcode::DSET);
     d.modifier = Modifier::Cmp(CmpOp::Lt);
     d.dsts[0] = Dst::R(Reg(0));

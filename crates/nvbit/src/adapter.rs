@@ -1,7 +1,7 @@
 //! The NVBit core: tool trait, per-static-kernel instrumentation cache, and
 //! the adapter that attaches an [`NvBitTool`] to the runtime.
 
-use crate::insert::{CachedInstrumentation, Inserter, InsertedCall, When};
+use crate::insert::{CachedInstrumentation, InsertedCall, Inserter, When};
 use crate::instr_view::InstrView;
 use gpu_isa::{Instr, Kernel, Module};
 use gpu_runtime::{InstrMasks, KernelLaunchInfo, LaunchRecord, RunSummary, Tool};
@@ -129,7 +129,9 @@ impl<T: NvBitTool> NvBit<T> {
     }
 
     fn dispatch(&mut self, when: When, thread: &mut ThreadCtx<'_>, site: InstrSite<'_>) {
-        let Some(cached) = self.current.as_ref() else { return };
+        let Some(cached) = self.current.as_ref() else {
+            return;
+        };
         let cached = Arc::clone(cached);
         let calls = cached.calls(when, site.pc);
         if calls.is_empty() {

@@ -169,7 +169,9 @@ impl NvBitTool for MemTracer {
         if trace.len() >= self.limit {
             return;
         }
-        let Some(m) = site.instr.instr().mem_ref() else { return };
+        let Some(m) = site.instr.instr().mem_ref() else {
+            return;
+        };
         let offset = site.call.args[0] as i64 as i32;
         let addr = thread.read_reg(m.base).wrapping_add(offset as u32);
         trace.push(MemAccess {
@@ -213,7 +215,7 @@ mod tests {
             let k = rt.get_kernel(m, "square")?;
             let a = rt.alloc(32 * 4)?;
             let b = rt.alloc(32 * 4)?;
-            rt.write_f32s(b, &vec![2.0; 32])?;
+            rt.write_f32s(b, &[2.0; 32])?;
             for _ in 0..2 {
                 rt.launch(k, 1u32, 32u32, &[a.addr(), b.addr()])?;
             }

@@ -46,7 +46,8 @@ impl Program for Bt {
             kernels::saxpy_f32("bt_add"),
         ];
         for i in 0..BLOCKS {
-            kernels.push(kernels::damped_update_variant(&format!("bt_block_k{i:02}"), 71 + i as u32));
+            kernels
+                .push(kernels::damped_update_variant(&format!("bt_block_k{i:02}"), 71 + i as u32));
         }
         let m = load_kernels(rt, "bt", kernels)?;
         let solves = [
@@ -72,14 +73,24 @@ impl Program for Bt {
             rt.launch(rhs, rows, rowlen, &[rhs_buf.addr(), u.addr(), 0.1f32.to_bits()])?;
             for (dim, solve) in solves.iter().enumerate() {
                 let (a, b) = sweep_coeffs[dim];
-                rt.launch(*solve, row_blocks, 32u32, &[u.addr(), a.to_bits(), b.to_bits(), rowlen, rows])?;
+                rt.launch(
+                    *solve,
+                    row_blocks,
+                    32u32,
+                    &[u.addr(), a.to_bits(), b.to_bits(), rowlen, rows],
+                )?;
             }
             // Five block-update kernels per step, rotating through the bank.
             for j in 0..5usize {
                 let k = blocks_k[(s as usize * 5 + j) % BLOCKS];
                 rt.launch(k, nblocks, 32u32, &[u.addr(), n as u32])?;
             }
-            rt.launch(add, nblocks, 32u32, &[u.addr(), rhs_buf.addr(), 0.05f32.to_bits(), n as u32])?;
+            rt.launch(
+                add,
+                nblocks,
+                32u32,
+                &[u.addr(), rhs_buf.addr(), 0.05f32.to_bits(), n as u32],
+            )?;
         }
         // This host is built abort-on-error style (CHECK macros calling
         // abort()): a device fault crashes the process — an OS-detected DUE.

@@ -51,7 +51,10 @@ impl Program for Cg {
             kernels::mul_f32("cg_dot_mul"),
         ];
         for i in 0..AUX {
-            kernels.push(kernels::damped_update_variant(&format!("cg_precond_k{i:02}"), 40 + i as u32));
+            kernels.push(kernels::damped_update_variant(
+                &format!("cg_precond_k{i:02}"),
+                40 + i as u32,
+            ));
         }
         let m = load_kernels(rt, "cg", kernels)?;
         let spmv = rt.get_kernel(m, "cg_spmv")?;
@@ -74,9 +77,8 @@ impl Program for Cg {
         let p = rt.alloc(n * 4)?;
         let ap = rt.alloc(n * 4)?;
         let scratch = rt.alloc(n * 4)?;
-        let vals: Vec<f32> = (0..nnz)
-            .map(|k| if k % deg as usize == 0 { 2.5 } else { -0.2 })
-            .collect();
+        let vals: Vec<f32> =
+            (0..nnz).map(|k| if k % deg as usize == 0 { 2.5 } else { -0.2 }).collect();
         let idxs: Vec<u32> = (0..n)
             .flat_map(|i| (0..deg).map(move |j| if j == 0 { i } else { (i + j * 7) % n }))
             .collect();

@@ -57,8 +57,7 @@ impl Program for Clvrleaf {
 
         let density = rt.alloc((n * 4) as u32)?;
         let work = rt.alloc((n * 4) as u32)?;
-        let init: Vec<f32> =
-            (0..n).map(|i| if i < n / 2 { 1.0 } else { 0.125 }).collect(); // Sod-like split
+        let init: Vec<f32> = (0..n).map(|i| if i < n / 2 { 1.0 } else { 0.125 }).collect(); // Sod-like split
         rt.write_f32s(density, &init)?;
 
         let blocks = (n as u32).div_ceil(32);

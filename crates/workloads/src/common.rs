@@ -170,6 +170,7 @@ mod tests {
             termination: gpu_runtime::Termination::Normal { exit_code: 0 },
             anomalies: Vec::new(),
             summary: RunSummary::default(),
+            prefix_instrs_skipped: 0,
         }
     }
 
@@ -202,29 +203,17 @@ mod tests {
         let c = TolerantCheck::f32(1e-3);
         let g = golden("x", f32_bytes(&[1.0, 2.0, 3.0]));
         assert_eq!(c.check(&g, &run("x", f32_bytes(&[1.0005, 2.0, 3.0]))), SdcVerdict::Pass);
-        assert!(matches!(
-            c.check(&g, &run("x", f32_bytes(&[1.5, 2.0, 3.0]))),
-            SdcVerdict::Fail(_)
-        ));
+        assert!(matches!(c.check(&g, &run("x", f32_bytes(&[1.5, 2.0, 3.0]))), SdcVerdict::Fail(_)));
         // length change fails
-        assert!(matches!(
-            c.check(&g, &run("x", f32_bytes(&[1.0, 2.0]))),
-            SdcVerdict::Fail(_)
-        ));
+        assert!(matches!(c.check(&g, &run("x", f32_bytes(&[1.0, 2.0]))), SdcVerdict::Fail(_)));
     }
 
     #[test]
     fn nan_always_fails() {
         let c = TolerantCheck::f32(1e-3);
         let g = golden("v 1.0", f32_bytes(&[1.0]));
-        assert!(matches!(
-            c.check(&g, &run("v NaN", f32_bytes(&[1.0]))),
-            SdcVerdict::Fail(_)
-        ));
-        assert!(matches!(
-            c.check(&g, &run("v 1.0", f32_bytes(&[f32::NAN]))),
-            SdcVerdict::Fail(_)
-        ));
+        assert!(matches!(c.check(&g, &run("v NaN", f32_bytes(&[1.0]))), SdcVerdict::Fail(_)));
+        assert!(matches!(c.check(&g, &run("v 1.0", f32_bytes(&[f32::NAN]))), SdcVerdict::Fail(_)));
     }
 
     #[test]
@@ -232,10 +221,7 @@ mod tests {
         let c = TolerantCheck::f64(1e-9);
         let g = golden("x", f64_bytes(&[1.0, -2.0]));
         assert_eq!(c.check(&g, &run("x", f64_bytes(&[1.0, -2.0]))), SdcVerdict::Pass);
-        assert!(matches!(
-            c.check(&g, &run("x", f64_bytes(&[1.0, -2.1]))),
-            SdcVerdict::Fail(_)
-        ));
+        assert!(matches!(c.check(&g, &run("x", f64_bytes(&[1.0, -2.1]))), SdcVerdict::Fail(_)));
     }
 
     #[test]

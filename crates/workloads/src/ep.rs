@@ -71,7 +71,12 @@ impl Program for Ep {
         for _ in 0..rounds {
             rt.launch(next, blocks, 32u32, &[state.addr(), n, 2])?;
             // interpret the integer state as small floats via transform
-            rt.launch(gauss, blocks, 32u32, &[fvals.addr(), state.addr(), 0.001f32.to_bits(), 0.0005f32.to_bits(), n])?;
+            rt.launch(
+                gauss,
+                blocks,
+                32u32,
+                &[fvals.addr(), state.addr(), 0.001f32.to_bits(), 0.0005f32.to_bits(), n],
+            )?;
             rt.launch(tally, blocks, 32u32, &[bins.addr(), state.addr(), nbins - 1, n])?;
             rt.launch(reduce, blocks, 32u32, &[partials.addr(), fvals.addr(), n])?;
             rt.launch(accum, blocks, 32u32, &[acc.addr(), fvals.addr(), 0.1f32.to_bits(), n])?;

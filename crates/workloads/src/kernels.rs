@@ -250,8 +250,8 @@ pub fn wave_step_f32(name: &str) -> Kernel {
     k.fadd(acc, acc, t);
     k.ldg(t, pp, 0);
     k.isub(t, Reg::RZ, t); // negate bits? no — float negate below
-    // float negation: acc = acc - prev ⇒ use FADD with negated prev via
-    // multiply by -1.
+                           // float negation: acc = acc - prev ⇒ use FADD with negated prev via
+                           // multiply by -1.
     k.ldg(t, pp, 0);
     k.fmuli(t, t, -1.0);
     k.fadd(acc, acc, t);
@@ -368,7 +368,8 @@ pub fn lj_force_f64(name: &str) -> Kernel {
     let mut k = KernelBuilder::new(name);
     let (force, pos, n) = (Reg(4), Reg(5), Reg(6));
     let (gtid, i, off) = (Reg(0), Reg(1), Reg(2));
-    let (xi, xj, dx, r2, inv, acc, t) = (Reg(8), Reg(10), Reg(12), Reg(14), Reg(16), Reg(18), Reg(20));
+    let (xi, xj, dx, r2, inv, acc, t) =
+        (Reg(8), Reg(10), Reg(12), Reg(14), Reg(16), Reg(18), Reg(20));
     let (half, one) = (Reg(22), Reg(24));
     k.ldc(force, 0);
     k.ldc(pos, 4);
@@ -387,7 +388,7 @@ pub fn lj_force_f64(name: &str) -> Kernel {
     k.movi(t, 0);
     k.i2d(acc, t); // acc = 0.0
     k.dmul(half, one, Reg::RZ); // placeholder; set below
-    // half = 0.5: build from one via dmul with f32 imm 0.5 (widened)
+                                // half = 0.5: build from one via dmul with f32 imm 0.5 (widened)
     let mut half_i = gpu_isa::Instr::new(gpu_isa::Opcode::DMUL);
     half_i.dsts[0] = gpu_isa::Dst::R64(half);
     half_i.srcs[0] = gpu_isa::Operand::R64(one);
@@ -1019,9 +1020,9 @@ mod tests {
             for x in 1..w - 1 {
                 let i = (y * w + x) as usize;
                 let expect = init[i]
-                    + 0.2 * (init[i - 1] + init[i + 1] + init[i - w as usize]
-                        + init[i + w as usize]
-                        - 4.0 * init[i]);
+                    + 0.2
+                        * (init[i - 1] + init[i + 1] + init[i - w as usize] + init[i + w as usize]
+                            - 4.0 * init[i]);
                 assert!(near(res[i], expect), "cell ({x},{y}): {} vs {expect}", res[i]);
             }
         }
@@ -1167,8 +1168,7 @@ mod tests {
         let mut mem2 = GlobalMem::new(1 << 20);
         let d2 = mem2.alloc((n * 4) as u32).expect("d");
         mem2.write_f32s(d2, &xs).expect("w");
-        let stats_low =
-            launch(&k, 2, 32, &[d2.addr(), 1.5f32.to_bits(), n as u32], &mut mem2);
+        let stats_low = launch(&k, 2, 32, &[d2.addr(), 1.5f32.to_bits(), n as u32], &mut mem2);
         assert!(stats_low.dyn_instrs > stats.dyn_instrs);
     }
 

@@ -48,8 +48,18 @@ impl Program for Omriq {
         rt.write_f32s(kx, &ks)?;
 
         let blocks = n.div_ceil(64);
-        rt.launch(phimag, blocks, 64u32, &[phi.addr(), kx.addr(), 1.3f32.to_bits(), 2.1f32.to_bits(), n])?;
-        rt.launch(q, blocks, 64u32, &[out.addr(), phi.addr(), 0.7f32.to_bits(), 4.5f32.to_bits(), n])?;
+        rt.launch(
+            phimag,
+            blocks,
+            64u32,
+            &[phi.addr(), kx.addr(), 1.3f32.to_bits(), 2.1f32.to_bits(), n],
+        )?;
+        rt.launch(
+            q,
+            blocks,
+            64u32,
+            &[out.addr(), phi.addr(), 0.7f32.to_bits(), 4.5f32.to_bits(), n],
+        )?;
         rt.synchronize()?;
 
         let qv = rt.read_f32s(out, n as usize)?;

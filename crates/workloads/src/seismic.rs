@@ -43,7 +43,8 @@ impl Program for Seismic {
             kernels::guarded_update("seis_absorb"),
         ];
         for i in 0..VARIANTS {
-            kernels.push(kernels::damped_update_variant(&format!("seis_atten_k{i:02}"), 7 + i as u32));
+            kernels
+                .push(kernels::damped_update_variant(&format!("seis_atten_k{i:02}"), 7 + i as u32));
         }
         let m = load_kernels(rt, "seismic", kernels)?;
         let step = rt.get_kernel(m, "seis_step")?;
@@ -72,10 +73,20 @@ impl Program for Seismic {
         let courant = 0.4f32;
         let (mut prev, mut cur, mut next) = (a, b, c);
         for s in 0..steps {
-            rt.launch(step, blocks, 32u32, &[next.addr(), cur.addr(), prev.addr(), courant.to_bits(), n])?;
+            rt.launch(
+                step,
+                blocks,
+                32u32,
+                &[next.addr(), cur.addr(), prev.addr(), courant.to_bits(), n],
+            )?;
             // Inject the source for the first quarter of the run.
             if s < steps / 4 + 1 {
-                rt.launch(source, blocks, 32u32, &[next.addr(), pulse.addr(), 1.0f32.to_bits(), n])?;
+                rt.launch(
+                    source,
+                    blocks,
+                    32u32,
+                    &[next.addr(), pulse.addr(), 1.0f32.to_bits(), n],
+                )?;
             }
             // Absorb energy where amplitude exceeds a threshold (the
             // guarded path's dynamic count follows the wavefront).

@@ -89,7 +89,8 @@ impl Program for Sp {
             kernels::guarded_update(&format!("{p}_adi_fix")),
         ];
         for i in 0..nvariants {
-            kernels.push(kernels::damped_update_variant(&format!("{p}_cell_k{i:02}"), 11 + i as u32));
+            kernels
+                .push(kernels::damped_update_variant(&format!("{p}_cell_k{i:02}"), 11 + i as u32));
         }
         let m = load_kernels(rt, p, kernels)?;
         let sweep_x = rt.get_kernel(m, &format!("{p}_sweep_x"))?;
@@ -111,8 +112,18 @@ impl Program for Sp {
             // Compute an RHS-like smoothed field.
             rt.launch(rhs, rows, rowlen, &[work.addr(), u.addr(), 0.1f32.to_bits()])?;
             // ADI line sweeps along both logical dimensions.
-            rt.launch(sweep_x, row_blocks, 32u32, &[u.addr(), ca.to_bits(), cb.to_bits(), rowlen, rows])?;
-            rt.launch(sweep_y, row_blocks, 32u32, &[u.addr(), cb.to_bits(), ca.to_bits(), rowlen, rows])?;
+            rt.launch(
+                sweep_x,
+                row_blocks,
+                32u32,
+                &[u.addr(), ca.to_bits(), cb.to_bits(), rowlen, rows],
+            )?;
+            rt.launch(
+                sweep_y,
+                row_blocks,
+                32u32,
+                &[u.addr(), cb.to_bits(), ca.to_bits(), rowlen, rows],
+            )?;
             // A rotating subset of the cell-update kernels each step.
             for (j, c) in cells.iter().enumerate() {
                 if (s as usize + j).is_multiple_of(2) {
@@ -151,11 +162,8 @@ mod tests {
     #[test]
     fn static_kernel_counts_match_table_iv() {
         for (variant, expect) in [(SpVariant::Sp, 71usize), (SpVariant::Csp, 69)] {
-            let out = run_program(
-                &Sp { scale: Scale::Paper, variant },
-                RuntimeConfig::default(),
-                None,
-            );
+            let out =
+                run_program(&Sp { scale: Scale::Paper, variant }, RuntimeConfig::default(), None);
             assert!(out.termination.is_clean());
             let names: std::collections::BTreeSet<_> =
                 out.summary.launches.iter().map(|l| l.kernel.as_str()).collect();

@@ -1,7 +1,9 @@
 //! The benchmark suite registry — Table IV in code.
 
 use crate::common::Scale;
-use crate::{bt, cg, clvrleaf, ep, ilbdc, md, minighost, olbm, omriq, ostencil, palm, seismic, sp, swim};
+use crate::{
+    bt, cg, clvrleaf, ep, ilbdc, md, minighost, olbm, omriq, ostencil, palm, seismic, sp, swim,
+};
 use gpu_runtime::Program;
 use nvbitfi::SdcCheck;
 
@@ -160,9 +162,7 @@ pub fn suite(scale: Scale) -> Vec<BenchEntry> {
 
 /// Look up a suite entry by name (accepts `"354.cg"` or `"cg"`).
 pub fn find(scale: Scale, name: &str) -> Option<BenchEntry> {
-    suite(scale)
-        .into_iter()
-        .find(|e| e.name == name || e.name.split('.').nth(1) == Some(name))
+    suite(scale).into_iter().find(|e| e.name == name || e.name.split('.').nth(1) == Some(name))
 }
 
 #[cfg(test)]
@@ -189,7 +189,10 @@ mod tests {
     fn paper_counts_match_table_iv() {
         let total_static: u32 = suite(Scale::Test).iter().map(|e| e.paper_static).sum();
         // Sum of Table IV's static-kernel column.
-        assert_eq!(total_static, 2 + 3 + 2 + 3 + 100 + 7 + 116 + 22 + 16 + 71 + 69 + 26 + 1 + 22 + 50);
+        assert_eq!(
+            total_static,
+            2 + 3 + 2 + 3 + 100 + 7 + 116 + 22 + 16 + 71 + 69 + 26 + 1 + 22 + 50
+        );
     }
 
     #[test]

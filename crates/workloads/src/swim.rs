@@ -51,7 +51,10 @@ impl Program for Swim {
             kernels::guarded_update("swim_bc_p"),
         ];
         for i in 0..FILTERS {
-            kernels.push(kernels::damped_update_variant(&format!("swim_filter_k{i:02}"), 53 + i as u32));
+            kernels.push(kernels::damped_update_variant(
+                &format!("swim_filter_k{i:02}"),
+                53 + i as u32,
+            ));
         }
         let m = load_kernels(rt, "swim", kernels)?;
         let calc = [

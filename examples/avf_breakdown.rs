@@ -13,13 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut argv = std::env::args().skip(1);
     let name = argv.next().unwrap_or_else(|| "303.ostencil".to_string());
     let injections: usize = argv.next().and_then(|v| v.parse().ok()).unwrap_or(50);
-    let entry = workloads::find(Scale::Test, &name)
-        .ok_or_else(|| format!("unknown program `{name}`"))?;
+    let entry =
+        workloads::find(Scale::Test, &name).ok_or_else(|| format!("unknown program `{name}`"))?;
 
-    println!(
-        "AVF breakdown for {} ({} injections per populated group)\n",
-        entry.name, injections
-    );
+    println!("AVF breakdown for {} ({} injections per populated group)\n", entry.name, injections);
     let mut rows = vec![vec![
         "group".to_string(),
         "population".to_string(),
@@ -69,9 +66,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let combined = avf::combine(&groups).ok_or("no populated groups")?;
     println!("\nwhole-program estimate (population-weighted): {combined}");
-    println!(
-        "visible-error rate = raw fault rate × {:.3} (the §I product)",
-        combined.total()
-    );
+    println!("visible-error rate = raw fault rate × {:.3} (the §I product)", combined.total());
     Ok(())
 }

@@ -9,13 +9,12 @@ use workloads::Scale;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "350.md".to_string());
-    let entry = workloads::find(Scale::Test, &name)
-        .ok_or_else(|| format!("unknown program `{name}`"))?;
+    let entry =
+        workloads::find(Scale::Test, &name).ok_or_else(|| format!("unknown program `{name}`"))?;
 
     println!("permanent-fault sweep over {} …", entry.name);
     let cfg = PermanentCampaignConfig::default();
-    let result =
-        run_permanent_campaign(entry.program.as_ref(), entry.check.as_ref(), &cfg)?;
+    let result = run_permanent_campaign(entry.program.as_ref(), entry.check.as_ref(), &cfg)?;
 
     println!("\n{}\n", report::permanent_summary(&result));
     let total_weight: u64 = result.runs.iter().map(|r| r.weight).sum();

@@ -42,12 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
     println!("\ninjecting 5 random transient faults:");
     for i in 0..5 {
-        let params = select_transient(
-            &profile,
-            InstrGroup::GpPr,
-            BitFlipModel::FlipSingleBit,
-            &mut rng,
-        )?;
+        let params =
+            select_transient(&profile, InstrGroup::GpPr, BitFlipModel::FlipSingleBit, &mut rng)?;
         println!("  fault {i}: {params}");
 
         // Step 3 — inject (the injector.so analog).

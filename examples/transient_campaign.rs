@@ -14,11 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let entry = workloads::find(Scale::Test, &name)
         .ok_or_else(|| format!("unknown program `{name}`; try 303.ostencil, 354.cg, …"))?;
-    let cfg = CampaignConfig {
-        injections,
-        profiling: ProfilingMode::Exact,
-        ..CampaignConfig::default()
-    };
+    let cfg =
+        CampaignConfig { injections, profiling: ProfilingMode::Exact, ..CampaignConfig::default() };
     println!("running {injections} transient injections into {} …", entry.name);
     let result = run_transient_campaign(entry.program.as_ref(), entry.check.as_ref(), &cfg)?;
 

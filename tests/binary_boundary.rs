@@ -50,7 +50,8 @@ fn module_binaries_round_trip_for_every_suite_kernel() {
     for entry in workloads::suite(Scale::Test) {
         let bytes = Arc::new(Mutex::new(Vec::new()));
         let tool = NvBit::new(Capture { bytes: Arc::clone(&bytes) });
-        let out = run_program(entry.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
+        let out =
+            run_program(entry.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
         assert!(out.termination.is_clean(), "{}", entry.name);
         for blob in bytes.lock().iter() {
             let module = encode::decode_module(blob).expect("decode");

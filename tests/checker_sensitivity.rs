@@ -15,6 +15,7 @@ fn as_output(g: &GoldenOutput) -> ProgramOutput {
         termination: Termination::Normal { exit_code: 0 },
         anomalies: Vec::new(),
         summary: g.summary.clone(),
+        prefix_instrs_skipped: 0,
     }
 }
 

@@ -3,11 +3,11 @@
 //! run — the property that makes `<kernel, instance, instruction>` tuples
 //! meaningful at all.
 
+use gpu_runtime::{run_program, RuntimeConfig};
 use nvbitfi::{
     run_transient_campaign, select_campaign, BitFlipModel, CampaignConfig, InstrGroup,
     ProfilingMode, TransientInjector,
 };
-use gpu_runtime::{run_program, RuntimeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workloads::Scale;
@@ -36,8 +36,9 @@ fn same_seed_same_campaign() {
 #[test]
 fn different_seeds_select_different_sites() {
     let program = workloads::omriq::Omriq { scale: Scale::Test };
-    let profile = nvbitfi::profile_program(&program, RuntimeConfig::default(), ProfilingMode::Exact)
-        .expect("profile");
+    let profile =
+        nvbitfi::profile_program(&program, RuntimeConfig::default(), ProfilingMode::Exact)
+            .expect("profile");
     let mut r1 = StdRng::seed_from_u64(1);
     let mut r2 = StdRng::seed_from_u64(2);
     let s1 = select_campaign(&profile, InstrGroup::GpPr, BitFlipModel::FlipSingleBit, 20, &mut r1)
@@ -52,16 +53,13 @@ fn a_fault_site_names_the_same_event_every_time() {
     // Inject the same site twice; the injector must corrupt the same
     // register of the same thread at the same pc with the same old value.
     let program = workloads::md::Md { scale: Scale::Test };
-    let profile = nvbitfi::profile_program(&program, RuntimeConfig::default(), ProfilingMode::Exact)
-        .expect("profile");
+    let profile =
+        nvbitfi::profile_program(&program, RuntimeConfig::default(), ProfilingMode::Exact)
+            .expect("profile");
     let mut rng = StdRng::seed_from_u64(33);
-    let params = nvbitfi::select_transient(
-        &profile,
-        InstrGroup::Fp64,
-        BitFlipModel::FlipTwoBits,
-        &mut rng,
-    )
-    .expect("site");
+    let params =
+        nvbitfi::select_transient(&profile, InstrGroup::Fp64, BitFlipModel::FlipTwoBits, &mut rng)
+            .expect("site");
 
     let observe = || {
         let (tool, handle) = TransientInjector::new(params.clone());

@@ -4,8 +4,8 @@
 
 use gpu_runtime::{run_program, RuntimeConfig};
 use nvbitfi::{
-    run_permanent_campaign, run_transient_campaign, profile_program, CampaignConfig,
-    PermanentCampaignConfig, ProfilingMode, Profiler, TransientInjector,
+    profile_program, run_permanent_campaign, run_transient_campaign, CampaignConfig,
+    PermanentCampaignConfig, Profiler, ProfilingMode, TransientInjector,
 };
 use workloads::Scale;
 
@@ -144,7 +144,10 @@ fn injection_instruments_only_the_target_kernel() {
     // The corrupted value may or may not be an SDC; the run completes.
     let _ = out;
     let s = *stats.lock();
-    assert_eq!(s.kernels_instrumented, 1, "only the target static kernel is JIT-instrumented: {s:?}");
+    assert_eq!(
+        s.kernels_instrumented, 1,
+        "only the target static kernel is JIT-instrumented: {s:?}"
+    );
     assert_eq!(s.launches_instrumented, 1, "only the target dynamic instance pays");
     // 11 launches at Test scale: 9 non-target stencil instances plus the
     // final_copy (empty instrumentation) run unmodified.

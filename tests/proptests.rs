@@ -21,12 +21,7 @@ fn arb_opcode() -> impl Strategy<Value = Opcode> {
 }
 
 fn arb_space() -> impl Strategy<Value = Space> {
-    prop_oneof![
-        Just(Space::Global),
-        Just(Space::Shared),
-        Just(Space::Local),
-        Just(Space::Const)
-    ]
+    prop_oneof![Just(Space::Global), Just(Space::Shared), Just(Space::Local), Just(Space::Const)]
 }
 
 fn arb_operand() -> impl Strategy<Value = Operand> {
@@ -244,7 +239,7 @@ proptest! {
                 4 => { k.stg(ra, imm & 0x3FF, rb); }
                 5 => { k.isetp(PReg(a & 7), CmpOp::ALL[(b % 6) as usize], rc, imm as i32); }
                 6 => { k.mufu(MufuFunc::ALL[(b % 7) as usize], ra, rc); }
-                7 => { k.lds(ra, rb, (imm & 0xFF).abs() as i16); }
+                7 => { k.lds(ra, rb, (imm & 0xFF).abs()); }
                 8 => { k.dfma(ra, rb, rc, Reg(a.wrapping_add(2))); }
                 9 => { k.shli(ra, rb, (c & 31) as u32); }
                 10 => { k.and(ra, rb, rc); }

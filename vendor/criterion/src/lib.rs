@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The container image has no registry access, so the real crate cannot be
+//! fetched. This crate implements the subset of the criterion 0.5 API the
+//! benchmark targets use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::throughput`],
+//! `criterion_group!`, `criterion_main!` — with a plain wall-clock
+//! measurement loop: a warm-up iteration, `sample_size` timed samples, and
+//! a median/mean report per benchmark on stdout.
+//!
+//! Two stand-in extensions the workspace relies on:
+//!
+//! * [`Criterion::json_output`] — after `criterion_main!` finishes it writes
+//!   every collected measurement to the given path as a JSON array (used to
+//!   emit `BENCH_checkpoint.json` baselines), and
+//! * `--test` on the command line (what `cargo test --benches` passes) runs
+//!   each benchmark exactly once, so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall-clock time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Optional throughput denominator (bytes or elements per iteration).
+    pub throughput: Option<Throughput>,
+}
+
+/// Throughput denominators, as in criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    json_path: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 20, test_mode, json_path: None, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Stand-in extension: write all measurements to `path` as JSON when
+    /// the run finishes.
+    #[must_use]
+    pub fn json_output(mut self, path: impl Into<String>) -> Criterion {
+        self.json_path = Some(path.into());
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        self.run_one(name.to_string(), None, f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut per_sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        let mut iters = 1u64;
+        // Warm-up: also sizes the iteration count so one sample takes at
+        // least ~1 ms (keeps timer noise manageable for fast bodies).
+        if !self.test_mode {
+            loop {
+                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                f(&mut b);
+                if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                    break;
+                }
+                iters *= 2;
+            }
+        }
+        for _ in 0..samples {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_sample_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_sample_ns[per_sample_ns.len() / 2];
+        let mean_ns = per_sample_ns.iter().sum::<f64>() / per_sample_ns.len() as f64;
+        println!("{id:<60} median {:>12} mean {:>12}", fmt_ns(median_ns), fmt_ns(mean_ns));
+        self.results.push(Measurement {
+            id,
+            samples,
+            iters_per_sample: iters,
+            mean_ns,
+            median_ns,
+            throughput,
+        });
+    }
+
+    /// All measurements collected so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Write the JSON report if [`Criterion::json_output`] was configured.
+    /// Called automatically by `criterion_main!`.
+    pub fn finalize(&self) {
+        let Some(path) = &self.json_path else { return };
+        let mut out = String::from("[\n");
+        for (i, m) in self.results.iter().enumerate() {
+            let tp = match m.throughput {
+                Some(Throughput::Bytes(b)) => format!(",\"throughput_bytes\":{b}"),
+                Some(Throughput::Elements(e)) => format!(",\"throughput_elements\":{e}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  {{\"id\":{:?},\"samples\":{},\"iters_per_sample\":{},\"mean_ns\":{:.1},\"median_ns\":{:.1}{}}}{}\n",
+                m.id,
+                m.samples,
+                m.iters_per_sample,
+                m.mean_ns,
+                m.median_ns,
+                tp,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => println!("wrote benchmark baseline to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput denominator reported for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measure one function.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{name}", self.name);
+        self.c.run_one(id, self.throughput, f);
+        self
+    }
+
+    /// End the group (drop-equivalent; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it the harness-chosen number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() -> $crate::Criterion {
+            let mut c = $config;
+            $($target(&mut c);)+
+            c
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Define the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                let c = $group();
+                c.finalize();
+            )+
+        }
+    };
+}

@@ -1,0 +1,404 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container image has no registry access, so the real crate cannot be
+//! fetched. This crate keeps the workspace's property tests runnable by
+//! implementing the API surface they use — [`Strategy`] with `prop_map`,
+//! [`any`], [`Just`], range strategies, tuple strategies,
+//! [`collection::vec`], [`sample::Index`], and the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//! macros — as plain deterministic sampling.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! values via the standard panic message only), a fixed per-test case count
+//! ([`CASES`]), and seeds derived from the test name so runs are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: u32 = 64;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A value generator. The stand-in `Strategy` is just "sample a value";
+/// there is no shrinking tree.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Sample an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, roughly log-uniform over magnitude — close enough to
+        // upstream's "any float" for the numeric tests in this workspace.
+        let mantissa = rng.gen_range(-1.0..1.0);
+        let exp = rng.gen_range(0u32..64) as i32 - 32;
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Uniform choice over boxed alternatives — the engine behind
+/// `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from at least one alternative.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of values from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+    use rand::RngCore;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero (as upstream does).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Run `f` for [`CASES`] deterministic cases; the driver behind
+/// `proptest!`-generated tests.
+pub fn run_cases(test_name: &str, mut f: impl FnMut(&mut TestRng)) {
+    // Seed from the test name so each test gets an independent, stable
+    // stream.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    for case in 0..CASES {
+        let mut rng = TestRng::seed_from_u64(seed ^ ((case as u64) << 32));
+        f(&mut rng);
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    /// The `prop::` namespace (`prop::collection`, `prop::sample`).
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Assert inside a property test. Alias of `assert!` (no shrink report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test. Alias of `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test. Alias of `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// One arm per strategy, drawn uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Bind `name in strategy` / `name: Type` parameters, then run the body.
+/// Internal engine shared by `proptest!` and `prop_compose!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block;) => { $body };
+    ($rng:ident, $body:block; $name:ident in $strat:expr) => {{
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $body
+    }};
+    ($rng:ident, $body:block; $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $body; $($rest)*)
+    }};
+    ($rng:ident, $body:block; $name:ident : $ty:ty) => {{
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $body
+    }};
+    ($rng:ident, $body:block; $name:ident : $ty:ty, $($rest:tt)*) => {{
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!($rng, $body; $($rest)*)
+    }};
+}
+
+/// Define property tests. Each function runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $body; $($params)*)
+            });
+        }
+    )*};
+}
+
+/// Compose strategies into a named strategy-returning function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+        ($($params:tt)*) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $out> {
+            $crate::FnStrategy(move |__proptest_rng: &mut $crate::TestRng| {
+                $crate::__proptest_bind!(__proptest_rng, $body; $($params)*)
+            })
+        }
+    };
+}
+
+/// Strategy backed by a sampling closure — what `prop_compose!` expands to.
+pub struct FnStrategy<F>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 0u32..10) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u8..9, y: bool, pair in arb_pair()) {
+            prop_assert!((3..9).contains(&x));
+            let _ = y;
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+        }
+
+        #[test]
+        fn oneof_and_vec(v in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|x| *x == 1 || *x == 2));
+        }
+
+        #[test]
+        fn index_resolves(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The container image has no registry access, so the real crate cannot be
+//! fetched. This crate implements the subset of the rand 0.8 API the
+//! workspace uses — [`Rng::gen_range`] over integer and float ranges,
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] — on top of a SplitMix64 generator.
+//!
+//! Streams are deterministic per seed (campaigns stay reproducible) but
+//! differ from upstream `StdRng` (ChaCha12); nothing in the workspace
+//! depends on upstream's exact values, only on seed-determinism and
+//! uniformity.
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (the high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that [`Rng::gen_range`] accepts (half-open ranges). Generic over
+/// the output type, as upstream is, so `rng.gen_range(0..6)` infers the
+/// literal type from the call site.
+pub trait SampleRange<T> {
+    /// Draw uniformly from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Uniform f64 in `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw from `[0, span)` by widening multiply (no modulo bias to
+/// speak of for the span sizes used here).
+#[inline]
+fn below(rng: &mut impl RngCore, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let span = (self.end as u64).checked_sub(self.start as u64)
+                    .filter(|s| *s > 0)
+                    .expect("gen_range: range must be non-empty");
+                self.start + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_int_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                // Shift to unsigned space so the span never overflows.
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                assert!(
+                    self.start < self.end && span > 0,
+                    "gen_range: range must be non-empty"
+                );
+                self.start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+signed_int_range!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut impl RngCore) -> f64 {
+        assert!(self.start < self.end, "gen_range: range must be non-empty");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut impl RngCore) -> f32 {
+        assert!(self.start < self.end, "gen_range: range must be non-empty");
+        self.start + (self.end - self.start) * unit_f64(rng) as f32
+    }
+}
+
+/// The user-facing sampling surface, blanket-implemented for every
+/// [`RngCore`] (including `&mut R`, so generators can be reborrowed).
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Deterministic per seed, passes the uniformity expectations of the
+    /// selection tests, and is trivially `Send` for worker fan-out.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Scramble once so nearby seeds do not start in nearby states.
+            let mut rng = StdRng { state: seed ^ 0x517C_C1B7_2722_0A95 };
+            rng.next_u64();
+            StdRng { state: rng.state.wrapping_add(rng.next_u64()) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let first: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..u64::MAX)).collect();
+        let mut d = StdRng::seed_from_u64(7);
+        let second: Vec<u64> = (0..8).map(|_| d.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for b in buckets {
+            assert!((9_000..11_000).contains(&b), "bucket {b} out of tolerance");
+        }
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&heads), "gen_bool(0.25) gave {heads}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container image has no registry access, so the real serde cannot be
+//! fetched. The workspace only uses serde's *derive* surface
+//! (`#[derive(Serialize, Deserialize)]`) as machine-readable documentation;
+//! no code path serializes through it. This crate re-exports no-op derive
+//! macros under the canonical names so `use serde::{Deserialize, Serialize}`
+//! keeps working unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
