@@ -1,0 +1,164 @@
+//! Static dead-fault pruning benchmarks: the cost of the analyses
+//! themselves (CFG + liveness + lint over real suite kernels, site
+//! resolution) and whole campaigns with pruning on vs. `--no-static-prune`
+//! on a dead-write-heavy workload. Writes the measurements to
+//! `BENCH_static_prune.json` for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_isa::asm::KernelBuilder;
+use gpu_isa::{encode, CmpOp, Module, PReg, Reg, SpecialReg};
+use gpu_runtime::{Program, Runtime, RuntimeConfig, RuntimeError};
+use nvbitfi::{CampaignConfig, InstrGroup, ProfilingMode, TransientParams};
+
+/// A module of real suite kernels, as the linter sees them at load time.
+fn suite_module() -> Module {
+    Module::new(
+        "bench_lint",
+        vec![
+            workloads::kernels::stencil5_f32("stencil"),
+            workloads::kernels::lj_force_f64("lj"),
+            workloads::kernels::reduce_sum_f32("reduce", 64),
+            workloads::kernels::lbm_collide("collide"),
+            workloads::kernels::spmv_gather("spmv"),
+        ],
+    )
+}
+
+/// Full-module lint (CFG, dominators, reaching defs, liveness, divergence)
+/// over five real suite kernels.
+fn bench_lint(c: &mut Criterion) {
+    let module = suite_module();
+    let instrs: u64 = module.kernels().iter().map(|k| k.len() as u64).sum();
+    let mut g = c.benchmark_group("static_analysis");
+    g.throughput(Throughput::Elements(instrs));
+    g.bench_function("lint_module_5_suite_kernels", |b| {
+        b.iter(|| gpu_analysis::lint_module(&module))
+    });
+    let stencil = workloads::kernels::stencil5_f32("stencil");
+    g.bench_function("liveness_fixpoint_stencil", |b| {
+        b.iter(|| {
+            let cfg = gpu_analysis::Cfg::build(&stencil);
+            gpu_analysis::Liveness::compute(&stencil, &cfg)
+        })
+    });
+    g.finish();
+}
+
+/// A single-launch program whose loop body writes three registers that are
+/// never read: roughly 2/5 of a G_GP campaign's sites land on provably
+/// dead destinations, and with only one launch no checkpoint can shorten
+/// the simulated runs — the shape where static pruning pays most.
+struct DeadHeavy;
+
+impl Program for DeadHeavy {
+    fn name(&self) -> &str {
+        "bench.dead_heavy"
+    }
+    fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+        let mut k = KernelBuilder::new("deadloop");
+        let (out, tid, acc, i) = (Reg(8), Reg(9), Reg(0), Reg(1));
+        k.ldc(out, 0);
+        k.s2r(tid, SpecialReg::TidX);
+        k.shli(Reg(10), tid, 2);
+        k.iadd(out, out, Reg(10));
+        k.movi(acc, 1);
+        k.movi(i, 0);
+        let top = k.new_label();
+        k.bind(top);
+        k.iadd(acc, acc, tid); // live
+        k.movi(Reg(4), 0x123); // dead
+        k.iaddi(Reg(5), acc, 5); // dead
+        k.shli(Reg(6), tid, 3); // dead
+        k.iaddi(i, i, 1);
+        k.isetp(PReg(0), CmpOp::Lt, i, 200);
+        k.bra_if(PReg(0), top);
+        k.stg(out, 0, acc);
+        k.exit();
+        let bytes = encode::encode_module(&Module::new("m", vec![k.finish()]));
+        let m = rt.load_module(&bytes)?;
+        let k = rt.get_kernel(m, "deadloop")?;
+        let buf = rt.alloc(64 * 4)?;
+        rt.launch(k, 2u32, 32u32, &[buf.addr()])?;
+        rt.synchronize()?;
+        let v = rt.read_u32s(buf, 64)?;
+        rt.println(format!("sum={}", v.iter().fold(0u32, |s, x| s.wrapping_add(*x))));
+        Ok(())
+    }
+}
+
+/// Site-to-pc resolution alone: one instrumented run mapping 20 dynamic
+/// site coordinates back to static pcs.
+fn bench_site_resolution(c: &mut Criterion) {
+    let sites: Vec<TransientParams> = (0..20u64)
+        .map(|j| TransientParams {
+            group: InstrGroup::Gp,
+            bit_flip: nvbitfi::BitFlipModel::FlipSingleBit,
+            kernel_name: "deadloop".into(),
+            kernel_count: 0,
+            instruction_count: j * 997,
+            destination_register: 0.3,
+            bit_pattern: 0.7,
+        })
+        .collect();
+    let mut g = c.benchmark_group("static_analysis");
+    g.bench_function("resolve_20_sites_dead_heavy", |b| {
+        b.iter(|| {
+            nvbitfi::prune_dead_sites(&DeadHeavy, RuntimeConfig::default(), InstrGroup::Gp, &sites)
+        })
+    });
+    g.finish();
+}
+
+/// The acceptance shape: same seed, identical outcome tallies, pruning on
+/// vs. off. Verifies the SDC/DUE counts match once, then measures both.
+fn bench_campaign_dead_heavy(c: &mut Criterion) {
+    let base = CampaignConfig {
+        injections: 20,
+        seed: 0x5EED,
+        group: InstrGroup::Gp,
+        workers: 1, // serial: measure simulation work, not scheduling
+        profiling: ProfilingMode::Exact,
+        ..CampaignConfig::default()
+    };
+    let check = nvbitfi::ExactDiff;
+    let with = nvbitfi::run_transient_campaign(
+        &DeadHeavy,
+        &check,
+        &CampaignConfig { use_static_prune: true, ..base.clone() },
+    )
+    .expect("pruned campaign");
+    let without = nvbitfi::run_transient_campaign(
+        &DeadHeavy,
+        &check,
+        &CampaignConfig { use_static_prune: false, ..base.clone() },
+    )
+    .expect("unpruned campaign");
+    assert_eq!(with.counts, without.counts, "same seed, same outcome tally");
+    assert!(with.statically_pruned() > 0, "dead-heavy workload must yield pruned sites");
+    println!(
+        "dead-heavy outcome counts (both modes): {} — {} of {} sites pruned",
+        with.counts,
+        with.statically_pruned(),
+        with.runs.len()
+    );
+
+    let mut g = c.benchmark_group("campaign_dead_heavy_20_injections");
+    g.bench_function("static_prune", |b| {
+        let cfg = CampaignConfig { use_static_prune: true, ..base.clone() };
+        b.iter(|| nvbitfi::run_transient_campaign(&DeadHeavy, &check, &cfg).expect("campaign"))
+    });
+    g.bench_function("no_static_prune", |b| {
+        let cfg = CampaignConfig { use_static_prune: false, ..base.clone() };
+        b.iter(|| nvbitfi::run_transient_campaign(&DeadHeavy, &check, &cfg).expect("campaign"))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .json_output(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_static_prune.json"));
+    targets = bench_lint, bench_site_resolution, bench_campaign_dead_heavy
+}
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["no-checkpoint"];
+const SWITCHES: &[&str] = &["no-checkpoint", "no-static-prune", "json"];
 
 /// Parsed command-line: positionals plus `--key value` options.
 #[derive(Debug, Default)]

@@ -24,9 +24,10 @@ commands:
   select <prog> --profile FILE [--group ID] [--bitflip ID] [--seed S] [--count N] [--out FILE]
   inject <prog> --params FILE [--scale paper|test]
   run-list <prog> --list FILE [--log FILE]
-  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--no-checkpoint]
+  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--no-checkpoint] [--no-static-prune]
   pf <prog> --opcode MNEMONIC [--sm N] [--lane N] [--mask HEX]
   pf-campaign <prog> [--seed S]
+  lint <prog|MODULE.bin> [--json] [--scale paper|test]
   disasm <prog>
   assemble --in LISTING --out MODULE.bin
   disasm-bin --in MODULE.bin
@@ -54,6 +55,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "campaign" => campaign(&args),
         "pf" => pf(&args),
         "pf-campaign" => pf_campaign(&args),
+        "lint" => lint(&args),
         "disasm" => disassemble(&args),
         "assemble" => assemble(&args),
         "trace" => trace(&args),
@@ -196,6 +198,7 @@ fn run_list(args: &Args) -> Result<(), String> {
             injected: handle.get().injected,
             wall: t.elapsed(),
             prefix_instrs_skipped: out.prefix_instrs_skipped,
+            pruned: false,
         });
     }
     println!("{counts}");
@@ -250,6 +253,7 @@ fn campaign(args: &Args) -> Result<(), String> {
         bit_flip: bitflip(args)?,
         profiling: mode(args)?,
         use_checkpoints: !args.switch("no-checkpoint"),
+        use_static_prune: !args.switch("no-static-prune"),
         ..CampaignConfig::default()
     };
     println!("running {} transient injections into {} …", cfg.injections, e.name);
@@ -302,6 +306,57 @@ fn pf_campaign(args: &Args) -> Result<(), String> {
     let result = run_permanent_campaign(e.program.as_ref(), e.check.as_ref(), &cfg)
         .map_err(|err| err.to_string())?;
     println!("{}", report::permanent_summary(&result));
+    Ok(())
+}
+
+/// A tool that captures every loaded module, for `nvbitfi lint <prog>`.
+struct ModuleCapture {
+    modules: Arc<Mutex<Vec<gpu_isa::Module>>>,
+}
+
+impl NvBitTool for ModuleCapture {
+    fn on_module_load(&mut self, module: &gpu_isa::Module) {
+        self.modules.lock().push(module.clone());
+    }
+    fn device_call(&mut self, _s: &CallSite<'_>, _t: &mut gpu_sim::ThreadCtx<'_>) {}
+}
+
+fn lint(args: &Args) -> Result<(), String> {
+    let target = args.positional(0).ok_or("missing target; try a program name or MODULE.bin")?;
+
+    // A path to an encoded module lints the file; anything else is looked
+    // up in the workload suite and linted as loaded (post encode/decode).
+    let modules: Vec<gpu_isa::Module> = if std::path::Path::new(target).is_file() {
+        let bytes = std::fs::read(target).map_err(|e| e.to_string())?;
+        vec![gpu_isa::encode::decode_module(&bytes).map_err(|e| e.to_string())?]
+    } else {
+        let e = entry(args, scale(args)?)?;
+        let modules = Arc::new(Mutex::new(Vec::new()));
+        let tool = NvBit::new(ModuleCapture { modules: Arc::clone(&modules) });
+        let out = run_program(e.program.as_ref(), RuntimeConfig::default(), Some(Box::new(tool)));
+        if !out.termination.is_clean() {
+            return Err(format!("program did not run cleanly: {:?}", out.termination));
+        }
+        let m = modules.lock().clone();
+        if m.is_empty() {
+            return Err(format!("{} loaded no modules", e.name));
+        }
+        m
+    };
+
+    let mut findings = Vec::new();
+    for module in &modules {
+        findings.extend(gpu_analysis::lint_module(module));
+    }
+    if args.switch("json") {
+        print!("{}", gpu_analysis::render_json(&findings));
+    } else {
+        print!("{}", gpu_analysis::render_text(&findings));
+    }
+    let errors = findings.iter().filter(|f| f.severity == gpu_analysis::Severity::Error).count();
+    if errors > 0 {
+        return Err(format!("lint found {errors} error(s)"));
+    }
     Ok(())
 }
 

@@ -13,10 +13,11 @@ use crate::bitflip::BitFlipModel;
 use crate::error::FiError;
 use crate::golden::{golden_run, golden_run_recording, GoldenOutput};
 use crate::igid::InstrGroup;
-use crate::outcome::{classify, Outcome, OutcomeCounts, SdcCheck};
+use crate::outcome::{classify, Outcome, OutcomeClass, OutcomeCounts, SdcCheck};
 use crate::params::{PermanentParams, TransientParams};
 use crate::permanent::PermanentInjector;
 use crate::profile::{profile_program, Profile, ProfilingMode};
+use crate::prune::prune_dead_sites;
 use crate::select::select_campaign;
 use crate::transient::TransientInjector;
 use gpu_runtime::{run_program, run_program_fast_forward, CheckpointStore, Program, RuntimeConfig};
@@ -49,6 +50,11 @@ pub struct CampaignConfig {
     /// prefix from them instead of re-simulating it. `false` reproduces the
     /// paper's full-replay cost (the `--no-checkpoint` escape hatch).
     pub use_checkpoints: bool,
+    /// When `true` (the default), sites whose corrupted destination is
+    /// provably dead at the injection point (per `gpu-analysis` liveness)
+    /// are classified Masked without simulation. Sound by construction —
+    /// see [`crate::prune`] — and disabled by `--no-static-prune`.
+    pub use_static_prune: bool,
 }
 
 impl Default for CampaignConfig {
@@ -62,6 +68,7 @@ impl Default for CampaignConfig {
             seed: 0x5EED,
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             use_checkpoints: true,
+            use_static_prune: true,
         }
     }
 }
@@ -81,6 +88,9 @@ pub struct InjectionRun {
     /// Dynamic instructions skipped by checkpoint fast-forwarding (0 when
     /// checkpoints are disabled).
     pub prefix_instrs_skipped: u64,
+    /// `true` if the outcome came from static dead-fault pruning rather
+    /// than a simulated run (always Masked, `wall` is zero).
+    pub pruned: bool,
 }
 
 /// Wall-clock accounting for overhead analysis (Figures 4 and 5).
@@ -90,6 +100,9 @@ pub struct CampaignTiming {
     pub golden: Duration,
     /// Duration of the profiling run.
     pub profiling: Duration,
+    /// Duration of the static-analysis pass (site resolution plus
+    /// liveness), zero when pruning is disabled.
+    pub analysis: Duration,
     /// Durations of the individual injection runs.
     pub injections: Vec<Duration>,
     /// Total dynamic instructions the injection runs skipped by
@@ -108,9 +121,10 @@ impl CampaignTiming {
         v[v.len() / 2]
     }
 
-    /// Total campaign time: profiling plus all injections (Figure 5).
+    /// Total campaign time: profiling, static analysis, and all
+    /// injections (Figure 5).
     pub fn total(&self) -> Duration {
-        self.profiling + self.injections.iter().sum::<Duration>()
+        self.profiling + self.analysis + self.injections.iter().sum::<Duration>()
     }
 }
 
@@ -129,6 +143,14 @@ pub struct TransientCampaign {
     pub runs: Vec<InjectionRun>,
     /// Timing for overhead analysis.
     pub timing: CampaignTiming,
+}
+
+impl TransientCampaign {
+    /// Number of sites classified by static dead-fault pruning instead of
+    /// simulation.
+    pub fn statically_pruned(&self) -> usize {
+        self.runs.iter().filter(|r| r.pruned).count()
+    }
 }
 
 fn fan_out<T: Send, R: Send>(
@@ -186,31 +208,59 @@ pub fn run_transient_campaign(
     let profile = profile_program(program, run_cfg.clone(), cfg.profiling)?;
     let profiling_wall = t0.elapsed();
 
-    // Step 2: select fault sites.
+    // Step 2: select fault sites. Selection consumes the RNG before any
+    // pruning happens, so a seed picks the same sites with pruning on or
+    // off — the two configurations differ only in how sites are resolved.
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sites = select_campaign(&profile, cfg.group, cfg.bit_flip, cfg.injections, &mut rng)?;
+
+    // Step 2b: static dead-fault pruning. One extra resolver run maps
+    // each site to its static pc; sites whose corrupted destination is
+    // dead there are provably Masked and skip simulation entirely.
+    let t0 = Instant::now();
+    let pruned_flags = if cfg.use_static_prune {
+        prune_dead_sites(program, run_cfg.clone(), cfg.group, &sites)
+    } else {
+        vec![false; sites.len()]
+    };
+    let analysis_wall = if cfg.use_static_prune { t0.elapsed() } else { Duration::ZERO };
 
     // Resolve each site's target to a global launch index and group sites
     // by it: runs sharing a target restore the same checkpoint, so the
     // store's pages stay warm across consecutive work items. A site the
     // golden run never reached (possible with approximate profiles) can
     // never fire, so its run fast-forwards through every recorded launch.
-    let mut work: Vec<(usize, TransientParams, Option<u64>)> = sites
+    let mut work: Vec<(usize, TransientParams, Option<u64>, bool)> = sites
         .into_iter()
+        .zip(pruned_flags)
         .enumerate()
-        .map(|(i, p)| {
+        .map(|(i, (p, pruned))| {
             let upto = checkpoints
                 .as_ref()
                 .map(|s| s.find_instance(&p.kernel_name, p.kernel_count).unwrap_or(s.len() as u64));
-            (i, p, upto)
+            (i, p, upto, pruned)
         })
         .collect();
-    work.sort_by_key(|&(i, _, upto)| (upto.unwrap_or(0), i));
+    work.sort_by_key(|&(i, _, upto, _)| (upto.unwrap_or(0), i));
 
     // Steps 3-4: inject and classify, fanned out over workers sharing the
-    // immutable checkpoint store.
-    let mut tagged =
-        fan_out(cfg.workers, work, |_, (orig, params, upto): (usize, TransientParams, _)| {
+    // immutable checkpoint store. Pruned sites short-circuit: the fault
+    // provably cannot propagate, so the run is synthesized as Masked.
+    let mut tagged = fan_out(
+        cfg.workers,
+        work,
+        |_, (orig, params, upto, pruned): (usize, TransientParams, _, bool)| {
+            if pruned {
+                let run = InjectionRun {
+                    params,
+                    outcome: Outcome { class: OutcomeClass::Masked, potential_due: false },
+                    injected: true,
+                    wall: Duration::ZERO,
+                    prefix_instrs_skipped: 0,
+                    pruned: true,
+                };
+                return (orig, run);
+            }
             let t = Instant::now();
             let (tool, handle) = TransientInjector::new(params.clone());
             let out = match (&checkpoints, upto) {
@@ -231,9 +281,11 @@ pub fn run_transient_campaign(
                 injected: handle.get().injected,
                 wall,
                 prefix_instrs_skipped: out.prefix_instrs_skipped,
+                pruned: false,
             };
             (orig, run)
-        });
+        },
+    );
     // fan_out preserved dispatch (grouped) order; report in selection order.
     tagged.sort_by_key(|&(orig, _)| orig);
     let runs: Vec<InjectionRun> = tagged.into_iter().map(|(_, r)| r).collect();
@@ -245,6 +297,7 @@ pub fn run_transient_campaign(
     let timing = CampaignTiming {
         golden: golden_wall,
         profiling: profiling_wall,
+        analysis: analysis_wall,
         injections: runs.iter().map(|r| r.wall).collect(),
         prefix_instrs_skipped: runs.iter().map(|r| r.prefix_instrs_skipped).sum(),
     };
@@ -446,6 +499,7 @@ mod tests {
         let t = CampaignTiming {
             golden: Duration::from_millis(1),
             profiling: Duration::from_millis(10),
+            analysis: Duration::from_millis(4),
             injections: vec![
                 Duration::from_millis(3),
                 Duration::from_millis(1),
@@ -454,7 +508,7 @@ mod tests {
             prefix_instrs_skipped: 0,
         };
         assert_eq!(t.median_injection(), Duration::from_millis(2));
-        assert_eq!(t.total(), Duration::from_millis(16));
+        assert_eq!(t.total(), Duration::from_millis(20));
         assert_eq!(CampaignTiming::default().median_injection(), Duration::ZERO);
     }
 }

@@ -96,6 +96,7 @@ pub mod outcome;
 mod params;
 pub mod permanent;
 pub mod profile;
+pub mod prune;
 pub mod report;
 mod select;
 pub mod stats;
@@ -120,7 +121,9 @@ pub use permanent::{PermanentHandle, PermanentInjector, PermanentRecord};
 pub use profile::{
     profile_program, FaultSite, KernelProfile, Profile, ProfileHandle, Profiler, ProfilingMode,
 };
+pub use prune::{prune_dead_sites, KernelAnalysis};
 pub use select::{select_campaign, select_transient};
 pub use transient::{
-    CorruptedTarget, InjectionDetail, InjectionHandle, InjectionRecord, TransientInjector,
+    select_destination, CorruptedTarget, InjectionDetail, InjectionHandle, InjectionRecord,
+    TransientInjector,
 };

@@ -139,20 +139,25 @@ pub struct LogRow {
     /// Dynamic instructions the run skipped via checkpoint fast-forward
     /// (0 in v1 logs, which predate the column).
     pub prefix_instrs_skipped: u64,
+    /// Whether the outcome came from static dead-fault pruning rather
+    /// than simulation (`false` in v1/v2 logs, which predate the column).
+    pub pruned: bool,
 }
 
 /// Serialize a campaign's per-run results, one line per injection. The v2
 /// format appends a `skip_instrs` column (dynamic instructions skipped by
-/// checkpoint fast-forward); the reader still accepts v1 rows.
+/// checkpoint fast-forward); v3 appends a `pruned` column (`static` for
+/// statically-pruned sites, `-` for simulated runs). The reader still
+/// accepts v1 and v2 rows.
 pub fn write_results_log(c: &TransientCampaign) -> String {
     let mut out = format!(
-        "# nvbitfi results log v2 program={}\n# igid\tbfm\tkernel\tkcount\ticount\tdreg\tbitpat\tfired\toutcome\twall_us\tskip_instrs\n",
+        "# nvbitfi results log v3 program={}\n# igid\tbfm\tkernel\tkcount\ticount\tdreg\tbitpat\tfired\toutcome\twall_us\tskip_instrs\tpruned\n",
         c.program
     );
     for run in &c.runs {
         let p = &run.params;
         out.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
             p.group.id(),
             p.bit_flip.id(),
             p.kernel_name,
@@ -163,7 +168,8 @@ pub fn write_results_log(c: &TransientCampaign) -> String {
             if run.injected { 1 } else { 0 },
             outcome_code(&run.outcome),
             run.wall.as_micros(),
-            run.prefix_instrs_skipped
+            run.prefix_instrs_skipped,
+            if run.pruned { "static" } else { "-" }
         ));
     }
     out
@@ -183,8 +189,8 @@ pub fn read_results_log(text: &str) -> Result<Vec<LogRow>, FiError> {
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 10 && fields.len() != 11 {
-            return Err(bad(lineno, format!("expected 10 or 11 fields, got {}", fields.len())));
+        if !(10..=12).contains(&fields.len()) {
+            return Err(bad(lineno, format!("expected 10 to 12 fields, got {}", fields.len())));
         }
         let head = fields[..7].join("\t");
         let params = read_injection_list(&head)
@@ -206,7 +212,13 @@ pub fn read_results_log(text: &str) -> Result<Vec<LogRow>, FiError> {
             }
             None => 0, // v1 row
         };
-        rows.push(LogRow { params, outcome, injected, wall_us, prefix_instrs_skipped });
+        let pruned = match fields.get(11) {
+            Some(&"static") => true,
+            Some(&"-") => false,
+            Some(other) => return Err(bad(lineno, format!("bad pruned flag `{other}`"))),
+            None => false, // v1/v2 row
+        };
+        rows.push(LogRow { params, outcome, injected, wall_us, prefix_instrs_skipped, pruned });
     }
     Ok(rows)
 }
@@ -231,6 +243,7 @@ pub fn to_runs(rows: Vec<LogRow>) -> Vec<InjectionRun> {
             injected: r.injected,
             wall: std::time::Duration::from_micros(r.wall_us),
             prefix_instrs_skipped: r.prefix_instrs_skipped,
+            pruned: r.pruned,
         })
         .collect()
 }
@@ -316,6 +329,7 @@ mod tests {
                 injected: i % 7 != 0,
                 wall: std::time::Duration::from_micros(1000 + i),
                 prefix_instrs_skipped: i * 1000,
+                pruned: i == 4,
             })
             .collect();
         let campaign = TransientCampaign {
@@ -340,7 +354,7 @@ mod tests {
             timing: Default::default(),
         };
         let text = write_results_log(&campaign);
-        assert!(text.starts_with("# nvbitfi results log v2 program=test.prog"));
+        assert!(text.starts_with("# nvbitfi results log v3 program=test.prog"));
         let rows = read_results_log(&text).expect("parse");
         assert_eq!(rows.len(), 10);
         assert_eq!(tally(&rows), campaign.counts);
@@ -350,6 +364,7 @@ mod tests {
             assert_eq!(a.injected, b.injected);
             assert_eq!(a.wall, b.wall);
             assert_eq!(a.prefix_instrs_skipped, b.prefix_instrs_skipped);
+            assert_eq!(a.pruned, b.pruned);
         }
     }
 
@@ -360,6 +375,20 @@ mod tests {
             .expect("v1 row parses");
         assert_eq!(rows[0].prefix_instrs_skipped, 0);
         assert_eq!(rows[0].wall_us, 5);
+        assert!(!rows[0].pruned);
+    }
+
+    #[test]
+    fn results_log_accepts_v2_rows_without_pruned_column() {
+        let header = "# nvbitfi results log v2 program=x\n";
+        let rows = read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED\t5\t42"))
+            .expect("v2 row parses");
+        assert_eq!(rows[0].prefix_instrs_skipped, 42);
+        assert!(!rows[0].pruned);
+        let v3 = format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED\t5\t42\tstatic");
+        assert!(read_results_log(&v3).expect("v3 row parses")[0].pruned);
+        let junk = format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED\t5\t42\tmaybe");
+        assert!(read_results_log(&junk).is_err());
     }
 
     #[test]

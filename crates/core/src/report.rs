@@ -60,12 +60,14 @@ pub fn outcome_cells(c: &OutcomeCounts) -> Vec<String> {
 pub fn transient_summary(c: &TransientCampaign) -> String {
     let injected = c.runs.iter().filter(|r| r.injected).count();
     format!(
-        "{}: {} over {} injections ({} fired); profile: {} dynamic kernels, \
-         {} dynamic instructions ({} profiling); median injection run {:?}, campaign total {:?}\n{}",
+        "{}: {} over {} injections ({} fired, {} statically pruned); profile: {} dynamic \
+         kernels, {} dynamic instructions ({} profiling); median injection run {:?}, \
+         campaign total {:?}\n{}",
         c.program,
         c.counts,
         c.runs.len(),
         injected,
+        c.statically_pruned(),
         c.profile.kernels.len(),
         c.profile.total(),
         c.profile.mode,
@@ -75,15 +77,17 @@ pub fn transient_summary(c: &TransientCampaign) -> String {
     )
 }
 
-/// Per-phase wall-clock table for a campaign (golden / profiling /
-/// injections), plus the dynamic instructions the injection runs avoided
-/// by fast-forwarding their pre-injection prefixes from checkpoints.
+/// Per-phase wall-clock table for a campaign (golden / profiling / static
+/// analysis / injections), plus the dynamic instructions the injection
+/// runs avoided by fast-forwarding their pre-injection prefixes from
+/// checkpoints.
 pub fn phase_breakdown(t: &crate::campaign::CampaignTiming) -> String {
     let injections: std::time::Duration = t.injections.iter().sum();
     let mut out = table(&[
         vec!["phase".into(), "wall-clock".into()],
         vec!["golden run".into(), format!("{:?}", t.golden)],
         vec!["profiling".into(), format!("{:?}", t.profiling)],
+        vec!["static analysis".into(), format!("{:?}", t.analysis)],
         vec![format!("injections (x{})", t.injections.len()), format!("{injections:?}")],
     ]);
     let _ = write!(out, "prefix instructions skipped via checkpoints: {}", t.prefix_instrs_skipped);
@@ -138,12 +142,14 @@ mod tests {
         let t = crate::campaign::CampaignTiming {
             golden: Duration::from_millis(5),
             profiling: Duration::from_millis(7),
+            analysis: Duration::from_millis(3),
             injections: vec![Duration::from_millis(2); 4],
             prefix_instrs_skipped: 1234,
         };
         let text = phase_breakdown(&t);
         assert!(text.contains("golden run"), "{text}");
         assert!(text.contains("profiling"), "{text}");
+        assert!(text.contains("static analysis"), "{text}");
         assert!(text.contains("injections (x4)"), "{text}");
         assert!(text.contains("8ms"), "sums the injection phase: {text}");
         assert!(text.contains("skipped via checkpoints: 1234"), "{text}");

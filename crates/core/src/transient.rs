@@ -14,8 +14,9 @@
 //!    using the bit-flip model's XOR mask.
 
 use crate::bitflip::BitFlipModel;
+use crate::igid::InstrGroup;
 use crate::params::TransientParams;
-use gpu_isa::{Kernel, Opcode, PReg, Reg};
+use gpu_isa::{Instr, Kernel, Opcode, PReg, Reg, RegSlot};
 use gpu_runtime::KernelLaunchInfo;
 use nvbit::{CallSite, Inserter, NvBit, NvBitTool, When};
 use parking_lot::Mutex;
@@ -91,6 +92,34 @@ impl InjectionHandle {
     }
 }
 
+/// The destination register unit the *destination register* parameter
+/// (Table II) selects for `instr` under `group` targeting, or `None` when
+/// the instruction has no writable destination for the group.
+///
+/// This is the single source of truth shared by the injector (which
+/// corrupts the unit) and static dead-fault pruning (which asks whether
+/// the unit is dead at the injection point): GPR candidates order before
+/// predicate candidates, and `destination_register ∈ [0,1)` indexes the
+/// combined list.
+pub fn select_destination(
+    instr: &Instr,
+    group: InstrGroup,
+    destination_register: f64,
+) -> Option<RegSlot> {
+    let gprs: Vec<Reg> = if group.targets_gprs() { instr.gpr_dests() } else { Vec::new() };
+    let preds: Vec<PReg> = if group.targets_predicates() { instr.pred_dests() } else { Vec::new() };
+    let total = gprs.len() + preds.len();
+    if total == 0 {
+        return None;
+    }
+    let idx = ((destination_register * total as f64) as usize).min(total - 1);
+    Some(if idx < gprs.len() {
+        RegSlot::Gpr(gprs[idx])
+    } else {
+        RegSlot::Pred(preds[idx - gprs.len()])
+    })
+}
+
 /// The transient injector tool (attachable via [`nvbit::NvBit`]).
 pub struct TransientInjector {
     params: TransientParams,
@@ -107,34 +136,32 @@ impl TransientInjector {
     }
 
     fn corrupt(&self, site: &CallSite<'_>, thread: &mut gpu_sim::ThreadCtx<'_>) -> CorruptedTarget {
-        let group = self.params.group;
-        let gprs: Vec<Reg> = if group.targets_gprs() { site.instr.gpr_dests() } else { Vec::new() };
-        let preds: Vec<PReg> =
-            if group.targets_predicates() { site.instr.pred_dests() } else { Vec::new() };
-        let total = gprs.len() + preds.len();
-        if total == 0 {
-            return CorruptedTarget::NoWritableDest;
-        }
         // Table II: destination register ∈ [0,1) selects among candidates.
-        let idx = ((self.params.destination_register * total as f64) as usize).min(total - 1);
-        if idx < gprs.len() {
-            let reg = gprs[idx];
-            let old = thread.read_reg(reg);
-            let mask = self.params.bit_flip.mask(self.params.bit_pattern, old);
-            let new = thread.corrupt_reg(reg, mask) ^ mask;
-            CorruptedTarget::Gpr { reg: reg.0, old, mask, new }
-        } else {
-            let p = preds[idx - gprs.len()];
-            let old = thread.read_pred(p);
-            let new = match self.params.bit_flip {
-                BitFlipModel::ZeroValue => false,
-                BitFlipModel::RandomValue => self.params.bit_pattern >= 0.5,
-                BitFlipModel::FlipSingleBit | BitFlipModel::FlipTwoBits => !old,
-            };
-            if new != old {
-                thread.corrupt_pred(p);
+        let selected = select_destination(
+            site.instr.instr(),
+            self.params.group,
+            self.params.destination_register,
+        );
+        match selected {
+            None => CorruptedTarget::NoWritableDest,
+            Some(RegSlot::Gpr(reg)) => {
+                let old = thread.read_reg(reg);
+                let mask = self.params.bit_flip.mask(self.params.bit_pattern, old);
+                let new = thread.corrupt_reg(reg, mask) ^ mask;
+                CorruptedTarget::Gpr { reg: reg.0, old, mask, new }
             }
-            CorruptedTarget::Pred { reg: p.0, old, new }
+            Some(RegSlot::Pred(p)) => {
+                let old = thread.read_pred(p);
+                let new = match self.params.bit_flip {
+                    BitFlipModel::ZeroValue => false,
+                    BitFlipModel::RandomValue => self.params.bit_pattern >= 0.5,
+                    BitFlipModel::FlipSingleBit | BitFlipModel::FlipTwoBits => !old,
+                };
+                if new != old {
+                    thread.corrupt_pred(p);
+                }
+                CorruptedTarget::Pred { reg: p.0, old, new }
+            }
         }
     }
 }

@@ -1,0 +1,475 @@
+//! Liveness, reaching definitions, divergence taint, and cross-lane uses.
+//!
+//! All fixpoints run at basic-block granularity over [`RegSet`] bitsets
+//! and are then expanded to per-instruction precision, so the inner loops
+//! are word-parallel and allocation-free.
+//!
+//! Guarded instructions never *kill*: a `@P0 MOV R1, ...` may be skipped
+//! by some thread, so the old value of `R1` can survive the instruction.
+//! This is the conservative direction for both analyses — liveness sets
+//! only grow (sound for dead-fault pruning) and guarded definitions never
+//! count as initializing on their own.
+
+use crate::cfg::Cfg;
+use crate::set::RegSet;
+use gpu_isa::{ExecFamily, Kernel, Operand, Reg, RegSlot, Space, SpecialReg};
+
+/// Per-instruction liveness: `live_out(pc)` is a superset of every
+/// register unit any thread can read after instruction `pc` completes,
+/// within the same thread, along any architecturally possible path.
+///
+/// Only meaningful for kernels whose [`Cfg::precise`] is `true`; with
+/// indirect branches the successor relation (and hence this set) is not
+/// statically known.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Run the backward fixpoint over `kernel`'s CFG.
+    pub fn compute(kernel: &Kernel, cfg: &Cfg) -> Liveness {
+        let n = kernel.len();
+        let nb = cfg.blocks.len();
+        let instrs = kernel.instrs();
+
+        // Block summaries: gen (upward-exposed uses) and kill
+        // (unconditional defs) via a backward walk within each block.
+        let mut gen = vec![RegSet::empty(); nb];
+        let mut kill = vec![RegSet::empty(); nb];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for pc in block.pcs().rev() {
+                let instr = &instrs[pc as usize];
+                if instr.guard.is_always() {
+                    for d in instr.defs() {
+                        gen[b].remove(d);
+                        kill[b].insert(d);
+                    }
+                }
+                for u in instr.uses() {
+                    gen[b].insert(u);
+                }
+            }
+        }
+
+        // Backward fixpoint on block live-in/live-out. Iterating blocks in
+        // reverse order converges quickly on mostly-forward CFGs.
+        let mut bin = vec![RegSet::empty(); nb];
+        let mut bout = vec![RegSet::empty(); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..nb).rev() {
+                let mut out = RegSet::empty();
+                for &s in &cfg.blocks[b].succs {
+                    out.union_with(&bin[s]);
+                }
+                let mut inn = out;
+                inn.subtract(&kill[b]);
+                inn.union_with(&gen[b]);
+                changed |= bout[b] != out || bin[b] != inn;
+                bout[b] = out;
+                bin[b] = inn;
+            }
+        }
+
+        // Expand to per-instruction sets by replaying each block backward.
+        let mut live_in = vec![RegSet::empty(); n];
+        let mut live_out = vec![RegSet::empty(); n];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut live = bout[b];
+            for pc in block.pcs().rev() {
+                let instr = &instrs[pc as usize];
+                live_out[pc as usize] = live;
+                if instr.guard.is_always() {
+                    for d in instr.defs() {
+                        live.remove(d);
+                    }
+                }
+                for u in instr.uses() {
+                    live.insert(u);
+                }
+                live_in[pc as usize] = live;
+            }
+        }
+
+        Liveness { live_in, live_out }
+    }
+
+    /// Register units possibly read at or after instruction `pc`.
+    pub fn live_in(&self, pc: u32) -> &RegSet {
+        &self.live_in[pc as usize]
+    }
+
+    /// Register units possibly read strictly after instruction `pc`
+    /// completes — the set that decides whether a post-write corruption of
+    /// `pc`'s destination can propagate.
+    pub fn live_out(&self, pc: u32) -> &RegSet {
+        &self.live_out[pc as usize]
+    }
+}
+
+/// How a use relates to the definitions that can reach it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseInit {
+    /// Every path from entry passes an unconditional definition first.
+    Initialized,
+    /// Some paths are initialized, some are not (or only guarded
+    /// definitions reach) — a *maybe*-uninitialized read.
+    MaybeUninit,
+    /// No real definition reaches: the read always observes the entry
+    /// state.
+    Uninit,
+}
+
+/// Reaching definitions, abstracted to the two facts the linter needs per
+/// slot and program point: does the *synthetic entry definition* still
+/// reach (the slot may hold its launch-time value), and does *any real
+/// definition* reach (some instruction may have written it)?
+///
+/// Unconditional definitions kill the entry definition; guarded ones do
+/// not (the guard may fail). Any definition, guarded or not, sets the
+/// "really defined" fact.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// Per-pc: slots whose entry definition reaches the instruction.
+    maybe_uninit_in: Vec<RegSet>,
+    /// Per-pc: slots some real definition of which reaches the instruction.
+    maybe_init_in: Vec<RegSet>,
+}
+
+impl ReachingDefs {
+    /// Run the forward fixpoint over `kernel`'s CFG.
+    pub fn compute(kernel: &Kernel, cfg: &Cfg) -> ReachingDefs {
+        let n = kernel.len();
+        let nb = cfg.blocks.len();
+        let instrs = kernel.instrs();
+
+        let mut all = RegSet::empty();
+        for r in 0..=254u8 {
+            all.insert(RegSlot::Gpr(Reg(r)));
+        }
+        for p in 0..7u8 {
+            all.insert(RegSlot::Pred(gpu_isa::PReg(p)));
+        }
+
+        // Block transfer summaries.
+        let mut strong_defs = vec![RegSet::empty(); nb]; // kills entry defs
+        let mut any_defs = vec![RegSet::empty(); nb];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for pc in block.pcs() {
+                let instr = &instrs[pc as usize];
+                for d in instr.defs() {
+                    any_defs[b].insert(d);
+                    if instr.guard.is_always() {
+                        strong_defs[b].insert(d);
+                    }
+                }
+            }
+        }
+
+        // Forward union fixpoint. Entry block starts with every slot
+        // possibly-uninitialized and nothing really defined.
+        let mut uninit_in = vec![RegSet::empty(); nb];
+        let mut init_in = vec![RegSet::empty(); nb];
+        if nb > 0 {
+            uninit_in[0] = all;
+        }
+        let rpo = cfg.rpo();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                let mut u_out = uninit_in[b];
+                u_out.subtract(&strong_defs[b]);
+                let mut i_out = init_in[b];
+                i_out.union_with(&any_defs[b]);
+                for &s in &cfg.blocks[b].succs {
+                    changed |= uninit_in[s].union_with(&u_out);
+                    changed |= init_in[s].union_with(&i_out);
+                }
+            }
+        }
+
+        // Per-instruction expansion.
+        let mut maybe_uninit_in = vec![RegSet::empty(); n];
+        let mut maybe_init_in = vec![RegSet::empty(); n];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut uninit = uninit_in[b];
+            let mut init = init_in[b];
+            for pc in block.pcs() {
+                maybe_uninit_in[pc as usize] = uninit;
+                maybe_init_in[pc as usize] = init;
+                let instr = &instrs[pc as usize];
+                for d in instr.defs() {
+                    init.insert(d);
+                    if instr.guard.is_always() {
+                        uninit.remove(d);
+                    }
+                }
+            }
+        }
+
+        ReachingDefs { maybe_uninit_in, maybe_init_in }
+    }
+
+    /// Classify a read of `slot` by instruction `pc`.
+    pub fn classify_use(&self, pc: u32, slot: RegSlot) -> UseInit {
+        let uninit = self.maybe_uninit_in[pc as usize].contains(slot);
+        let init = self.maybe_init_in[pc as usize].contains(slot);
+        match (uninit, init) {
+            (false, _) => UseInit::Initialized,
+            (true, true) => UseInit::MaybeUninit,
+            (true, false) => UseInit::Uninit,
+        }
+    }
+}
+
+/// `true` for opcodes that read *other lanes'* register operands
+/// (`SHFL`, `VOTE`, `FSWZADD`).
+pub fn is_cross_lane(family: ExecFamily) -> bool {
+    matches!(family, ExecFamily::Shfl | ExecFamily::Vote | ExecFamily::FSwzAdd)
+}
+
+/// The union of the use sets of every cross-lane instruction in the
+/// kernel.
+///
+/// Cross-lane opcodes read operands from *sibling lanes*, so per-thread
+/// liveness alone under-approximates what a corrupted register can feed.
+/// Callers performing dead-fault pruning must union this set into every
+/// `live_out` query: a slot in here may be read by a `SHFL`/`VOTE`/
+/// `FSWZADD` executed by *another* thread of the warp at any time, so it
+/// is never considered dead. Coarse (whole-kernel, flow-insensitive) but
+/// sound.
+pub fn cross_lane_uses(kernel: &Kernel) -> RegSet {
+    let mut set = RegSet::empty();
+    for instr in kernel.instrs() {
+        if is_cross_lane(instr.op.family()) {
+            for u in instr.uses() {
+                set.insert(u);
+            }
+        }
+    }
+    set
+}
+
+/// `true` if reading this special register can produce different values in
+/// different threads of the same *block* (what barrier convergence cares
+/// about).
+fn special_is_divergent(sr: SpecialReg) -> bool {
+    match sr {
+        SpecialReg::TidX
+        | SpecialReg::TidY
+        | SpecialReg::TidZ
+        | SpecialReg::LaneId
+        | SpecialReg::WarpId
+        | SpecialReg::GlobalTidX
+        | SpecialReg::ClockLo => true,
+        SpecialReg::CtaIdX
+        | SpecialReg::CtaIdY
+        | SpecialReg::CtaIdZ
+        | SpecialReg::NTidX
+        | SpecialReg::NTidY
+        | SpecialReg::NTidZ
+        | SpecialReg::NCtaIdX
+        | SpecialReg::NCtaIdY
+        | SpecialReg::NCtaIdZ
+        | SpecialReg::SmId => false,
+    }
+}
+
+/// Flow-insensitive thread-divergence taint: the register units that may
+/// hold different values in different threads of a block.
+///
+/// Seeds: thread-indexed special registers, loads from non-constant
+/// memory, atomics, and cross-lane results. Propagation: a definition is
+/// divergent if any of its uses (including the guard) is divergent.
+/// Flow-insensitivity over-taints (a register reused for a uniform value
+/// later stays tainted), which can only create false *warnings*, never
+/// missed ones.
+pub fn divergent_slots(kernel: &Kernel) -> RegSet {
+    let mut tainted = RegSet::empty();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for instr in kernel.instrs() {
+            let defs = instr.defs();
+            if defs.is_empty() {
+                continue;
+            }
+            let source_divergent = instr
+                .srcs
+                .iter()
+                .any(|s| matches!(s, Operand::Sr(sr) if special_is_divergent(*sr)))
+                || matches!(instr.op.family(), ExecFamily::Atom)
+                || is_cross_lane(instr.op.family())
+                || instr.mem_ref().is_some_and(|m| {
+                    m.space != Space::Const && matches!(instr.op.family(), ExecFamily::Ld)
+                })
+                || instr.uses().iter().any(|u| tainted.contains(*u));
+            if source_divergent {
+                for d in defs {
+                    changed |= tainted.insert(d);
+                }
+            }
+        }
+    }
+    tainted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::asm::KernelBuilder;
+    use gpu_isa::{CmpOp, Guard, Instr, Opcode, PReg};
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut k = KernelBuilder::new("sl");
+        k.movi(Reg(0), 1); // 0
+        k.movi(Reg(1), 2); // 1
+        k.iadd(Reg(2), Reg(0), Reg(1)); // 2
+        k.exit(); // 3
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let live = Liveness::compute(&kernel, &cfg);
+        assert!(live.live_out(0).contains(RegSlot::Gpr(Reg(0))));
+        assert!(live.live_out(1).contains(RegSlot::Gpr(Reg(1))));
+        // R2 is written and never read: dead at its own def point.
+        assert!(!live.live_out(2).contains(RegSlot::Gpr(Reg(2))));
+        // Before the EXIT nothing is live.
+        assert!(live.live_out(2).is_empty());
+    }
+
+    #[test]
+    fn overwrite_kills_liveness() {
+        let mut k = KernelBuilder::new("kill");
+        k.movi(Reg(0), 1); // 0 — dead: overwritten at 1 before any read
+        k.movi(Reg(0), 2); // 1
+        k.iaddi(Reg(1), Reg(0), 0); // 2
+        k.exit(); // 3
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let live = Liveness::compute(&kernel, &cfg);
+        assert!(!live.live_out(0).contains(RegSlot::Gpr(Reg(0))));
+        assert!(live.live_out(1).contains(RegSlot::Gpr(Reg(0))));
+    }
+
+    #[test]
+    fn guarded_write_does_not_kill() {
+        let mut k = KernelBuilder::new("guard");
+        k.isetp(PReg(0), CmpOp::Lt, Reg(0), 10); // 0
+        k.movi(Reg(1), 1); // 1
+        let i = k.movi(Reg(1), 2); // 2 — guarded overwrite
+        i.guard = Guard::if_true(PReg(0));
+        k.iaddi(Reg(2), Reg(1), 0); // 3
+        k.exit(); // 4
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let live = Liveness::compute(&kernel, &cfg);
+        // R1 written at 1 must stay live across the guarded write at 2.
+        assert!(live.live_out(1).contains(RegSlot::Gpr(Reg(1))));
+    }
+
+    #[test]
+    fn branchy_liveness_joins_paths() {
+        let mut k = KernelBuilder::new("branchy");
+        let (else_, join) = (k.new_label(), k.new_label());
+        k.isetp(PReg(0), CmpOp::Lt, Reg(0), 10); // 0
+        k.bra_ifnot(PReg(0), else_); // 1
+        k.iaddi(Reg(2), Reg(1), 1); // 2 — reads R1 on this path only
+        k.bra(join); // 3
+        k.bind(else_);
+        k.movi(Reg(2), 0); // 4
+        k.bind(join);
+        k.stg(Reg(3), 0, Reg(2)); // 5
+        k.exit(); // 6
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let live = Liveness::compute(&kernel, &cfg);
+        // R1 live at entry (read on the taken path).
+        assert!(live.live_in(0).contains(RegSlot::Gpr(Reg(1))));
+        // R2 live at the join, dead above the branch.
+        assert!(live.live_out(2).contains(RegSlot::Gpr(Reg(2))));
+        assert!(live.live_out(4).contains(RegSlot::Gpr(Reg(2))));
+        assert!(!live.live_in(0).contains(RegSlot::Gpr(Reg(2))));
+        // P0 dead after the branch consumes it.
+        assert!(live.live_in(1).contains(RegSlot::Pred(PReg(0))));
+        assert!(!live.live_out(1).contains(RegSlot::Pred(PReg(0))));
+    }
+
+    #[test]
+    fn reaching_defs_classify() {
+        let mut k = KernelBuilder::new("rd");
+        let (else_, join) = (k.new_label(), k.new_label());
+        k.isetp(PReg(0), CmpOp::Lt, Reg(0), 10); // 0 — R0 read uninit
+        k.bra_ifnot(PReg(0), else_); // 1
+        k.movi(Reg(1), 1); // 2
+        k.bra(join); // 3
+        k.bind(else_);
+        k.movi(Reg(2), 2); // 4
+        k.bind(join);
+        k.iadd(Reg(3), Reg(1), Reg(2)); // 5 — R1, R2 maybe-uninit
+        k.iaddi(Reg(4), Reg(3), 0); // 6 — R3 initialized
+        k.exit(); // 7
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let rd = ReachingDefs::compute(&kernel, &cfg);
+        assert_eq!(rd.classify_use(0, RegSlot::Gpr(Reg(0))), UseInit::Uninit);
+        assert_eq!(rd.classify_use(5, RegSlot::Gpr(Reg(1))), UseInit::MaybeUninit);
+        assert_eq!(rd.classify_use(5, RegSlot::Gpr(Reg(2))), UseInit::MaybeUninit);
+        assert_eq!(rd.classify_use(6, RegSlot::Gpr(Reg(3))), UseInit::Initialized);
+        assert_eq!(rd.classify_use(1, RegSlot::Pred(PReg(0))), UseInit::Initialized);
+    }
+
+    #[test]
+    fn guarded_def_initializes_only_maybe() {
+        let mut k = KernelBuilder::new("gdef");
+        k.isetp(PReg(0), CmpOp::Lt, Reg(0), 10); // 0
+        let i = k.movi(Reg(1), 1); // 1 — guarded def of R1
+        i.guard = Guard::if_true(PReg(0));
+        k.iaddi(Reg(2), Reg(1), 0); // 2
+        k.exit(); // 3
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let rd = ReachingDefs::compute(&kernel, &cfg);
+        assert_eq!(rd.classify_use(2, RegSlot::Gpr(Reg(1))), UseInit::MaybeUninit);
+    }
+
+    #[test]
+    fn cross_lane_set_covers_shfl_sources() {
+        let mut k = KernelBuilder::new("xl");
+        k.movi(Reg(5), 3);
+        k.push({
+            let mut i = Instr::new(Opcode::SHFL);
+            i.dsts[0] = gpu_isa::Dst::R(Reg(6));
+            i.srcs[0] = Operand::R(Reg(5));
+            i.srcs[1] = Operand::Imm(1);
+            i
+        });
+        k.exit();
+        let kernel = k.finish();
+        let xl = cross_lane_uses(&kernel);
+        assert!(xl.contains(RegSlot::Gpr(Reg(5))));
+        assert!(!xl.contains(RegSlot::Gpr(Reg(6))));
+    }
+
+    #[test]
+    fn divergence_taints_through_arithmetic() {
+        let mut k = KernelBuilder::new("div");
+        k.s2r(Reg(0), SpecialReg::TidX); // divergent seed
+        k.s2r(Reg(1), SpecialReg::CtaIdX); // uniform
+        k.iaddi(Reg(2), Reg(0), 4); // tainted via R0
+        k.iaddi(Reg(3), Reg(1), 4); // uniform
+        k.isetp(PReg(0), CmpOp::Lt, Reg(2), 10); // tainted predicate
+        k.exit();
+        let kernel = k.finish();
+        let d = divergent_slots(&kernel);
+        assert!(d.contains(RegSlot::Gpr(Reg(0))));
+        assert!(!d.contains(RegSlot::Gpr(Reg(1))));
+        assert!(d.contains(RegSlot::Gpr(Reg(2))));
+        assert!(!d.contains(RegSlot::Gpr(Reg(3))));
+        assert!(d.contains(RegSlot::Pred(PReg(0))));
+    }
+}

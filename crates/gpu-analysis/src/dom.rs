@@ -1,0 +1,244 @@
+//! Dominator and post-dominator trees.
+//!
+//! Uses the iterative Cooper–Harvey–Kennedy algorithm over a reverse
+//! postorder, which is near-linear on the shallow CFGs our kernels
+//! produce. Post-dominators run the same engine over the reversed graph,
+//! rooted at a *virtual exit node* fed by every block whose execution
+//! leaves the kernel (`EXIT`, traps, fall-off-the-end), so kernels with
+//! several exits still have a single post-dominator root.
+
+use crate::cfg::Cfg;
+use gpu_isa::Kernel;
+
+/// Immediate-dominator tree over the blocks of a [`Cfg`].
+///
+/// For the post-dominator variant, node `len - 1` is the virtual exit.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; the root's idom is
+    /// itself. `None` for nodes unreachable from the root.
+    idom: Vec<Option<usize>>,
+    root: usize,
+}
+
+/// Generic CHK fixpoint: `preds` is the predecessor relation of the graph
+/// being dominated, `rpo` a reverse postorder from `root`.
+fn compute(preds: &[Vec<usize>], rpo: &[usize], root: usize) -> Vec<Option<usize>> {
+    let n = preds.len();
+    let mut order_of = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        order_of[*b] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while order_of[a] > order_of[b] {
+                a = idom[a].expect("processed node");
+            }
+            while order_of[b] > order_of[a] {
+                b = idom[b].expect("processed node");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, p, cur),
+                });
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// Reverse postorder from `root` over an arbitrary successor relation.
+fn rpo_of(succs: &[Vec<usize>], root: usize) -> Vec<usize> {
+    let n = succs.len();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![(root, 0usize)];
+    seen[root] = true;
+    while let Some((b, i)) = stack.pop() {
+        if i < succs[b].len() {
+            stack.push((b, i + 1));
+            let s = succs[b][i];
+            if !seen[s] {
+                seen[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            order.push(b);
+        }
+    }
+    order.reverse();
+    order
+}
+
+impl Dominators {
+    /// Dominator tree rooted at the entry block.
+    pub fn build(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks.len();
+        if n == 0 {
+            return Dominators { idom: Vec::new(), root: 0 };
+        }
+        let preds: Vec<Vec<usize>> = cfg.blocks.iter().map(|b| b.preds.clone()).collect();
+        let succs: Vec<Vec<usize>> = cfg.blocks.iter().map(|b| b.succs.clone()).collect();
+        let rpo = rpo_of(&succs, 0);
+        Dominators { idom: compute(&preds, &rpo, 0), root: 0 }
+    }
+
+    /// Post-dominator tree rooted at a virtual exit node (index
+    /// `cfg.blocks.len()`), with an edge from every exiting block of
+    /// `kernel` to it.
+    pub fn postdominators(cfg: &Cfg, kernel: &Kernel) -> Dominators {
+        let n = cfg.blocks.len();
+        let exit = n;
+        if n == 0 {
+            return Dominators { idom: vec![Some(exit)], root: exit };
+        }
+        // Reversed graph: "preds" of the postdom run are the CFG succs
+        // (plus the virtual-exit edges), and we walk CFG edges backwards.
+        let mut rev_succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut rev_preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                rev_succs[s].push(b);
+                rev_preds[b].push(s);
+            }
+        }
+        for b in cfg.exit_blocks(kernel) {
+            rev_succs[exit].push(b);
+            rev_preds[b].push(exit);
+        }
+        let rpo = rpo_of(&rev_succs, exit);
+        Dominators { idom: compute(&rev_preds, &rpo, exit), root: exit }
+    }
+
+    /// The virtual exit node index of a post-dominator tree built from a
+    /// CFG with `nblocks` blocks.
+    pub fn virtual_exit(nblocks: usize) -> usize {
+        nblocks
+    }
+
+    /// `true` if `a` (post-)dominates `b`. Nodes unreachable from the root
+    /// are dominated by nothing and dominate nothing (except themselves).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut cur = b;
+        loop {
+            match self.idom[cur] {
+                Some(next) if next == cur => return false, // reached root
+                Some(next) if next == a => return true,
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the root or unreachable
+    /// nodes).
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        match self.idom[b] {
+            Some(i) if i != b => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The root node (entry block, or the virtual exit for post-dominators).
+    pub fn root(&self) -> usize {
+        self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::asm::KernelBuilder;
+    use gpu_isa::{CmpOp, PReg, Reg};
+
+    fn diamond() -> Kernel {
+        let mut k = KernelBuilder::new("diamond");
+        let (else_, join) = (k.new_label(), k.new_label());
+        k.isetp(PReg(0), CmpOp::Lt, Reg(0), 10); // block 0
+        k.bra_ifnot(PReg(0), else_);
+        k.iaddi(Reg(1), Reg(0), 1); // block 1
+        k.bra(join);
+        k.bind(else_);
+        k.movi(Reg(1), 0); // block 2
+        k.bind(join);
+        k.exit(); // block 3
+        k.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let kernel = diamond();
+        let cfg = Cfg::build(&kernel);
+        let dom = Dominators::build(&cfg);
+        // Entry dominates everything; neither arm dominates the join.
+        for b in 0..4 {
+            assert!(dom.dominates(0, b));
+        }
+        assert!(!dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 3));
+        assert_eq!(dom.idom(3), Some(0));
+        assert_eq!(dom.idom(0), None);
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let kernel = diamond();
+        let cfg = Cfg::build(&kernel);
+        let pdom = Dominators::postdominators(&cfg, &kernel);
+        let exit = Dominators::virtual_exit(cfg.blocks.len());
+        // The join post-dominates everything; arms post-dominate nothing
+        // but themselves.
+        for b in 0..4 {
+            assert!(pdom.dominates(3, b), "join postdominates block {b}");
+            assert!(pdom.dominates(exit, b));
+        }
+        assert!(!pdom.dominates(1, 0));
+        assert!(!pdom.dominates(2, 0));
+        assert_eq!(pdom.idom(0), Some(3));
+    }
+
+    #[test]
+    fn loop_postdominators() {
+        let mut k = KernelBuilder::new("loop");
+        let top = k.new_label();
+        k.movi(Reg(0), 0); // block 0
+        k.bind(top);
+        k.iaddi(Reg(0), Reg(0), 1); // block 1 (body, self loop via bra_if)
+        k.isetp(PReg(0), CmpOp::Lt, Reg(0), 10);
+        k.bra_if(PReg(0), top);
+        k.exit(); // block 2
+        let kernel = k.finish();
+        let cfg = Cfg::build(&kernel);
+        let dom = Dominators::build(&cfg);
+        let pdom = Dominators::postdominators(&cfg, &kernel);
+        let body = cfg.block_of(1);
+        let tail = cfg.block_of(4);
+        assert!(dom.dominates(0, body));
+        assert!(dom.dominates(body, tail));
+        assert!(pdom.dominates(tail, 0));
+        assert!(pdom.dominates(body, 0));
+    }
+}

@@ -1,0 +1,452 @@
+//! The kernel linter: static checks over encoded kernels.
+//!
+//! NVBitFI's usage model ships kernels as opaque binaries, so defects that
+//! a compiler would catch at build time (uninitialized reads, unreachable
+//! code, a path that runs off the end of the kernel) survive into the
+//! `.bin`. `fi lint` runs these checks over a decoded module before a
+//! campaign wastes wall-clock on a broken workload.
+//!
+//! Path-sensitive checks (uninitialized reads, unreachable code, missing
+//! `EXIT`, dead writes, barrier divergence) require a precise CFG; kernels
+//! with indirect branches or call/return get only the flow-insensitive
+//! checks plus an `imprecise-cfg` note.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{cross_lane_uses, divergent_slots, Liveness, ReachingDefs, UseInit};
+use crate::dom::Dominators;
+use gpu_isa::{Dst, ExecFamily, Kernel, Module, PReg, Reg};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but possibly intentional; does not fail `fi lint`.
+    Warning,
+    /// A defect: the kernel reads undefined state or can trap.
+    Error,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Stable machine-readable check name, e.g. `"uninitialized-read"`.
+    pub kind: &'static str,
+    /// Name of the kernel the finding is in.
+    pub kernel: String,
+    /// Instruction index, when the finding points at one instruction.
+    pub pc: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn finding(
+    severity: Severity,
+    kind: &'static str,
+    kernel: &Kernel,
+    pc: Option<u32>,
+    message: String,
+) -> Finding {
+    Finding { severity, kind, kernel: kernel.name().to_string(), pc, message }
+}
+
+/// Lint a single kernel. Findings are ordered by program counter.
+pub fn lint_kernel(kernel: &Kernel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let instrs = kernel.instrs();
+    let cfg = Cfg::build(kernel);
+
+    // Flow-insensitive: writes to hard-wired registers are silently
+    // discarded by the hardware — almost certainly not what was meant.
+    for (pc, instr) in instrs.iter().enumerate() {
+        for d in instr.dsts {
+            match d {
+                Dst::R(r) | Dst::R64(r) if r.is_zero_reg() => out.push(finding(
+                    Severity::Warning,
+                    "write-to-rz",
+                    kernel,
+                    Some(pc as u32),
+                    format!("`{instr}` writes {}, which discards the value", Reg::RZ),
+                )),
+                Dst::P(p) if p.is_true_reg() => out.push(finding(
+                    Severity::Warning,
+                    "write-to-pt",
+                    kernel,
+                    Some(pc as u32),
+                    format!("`{instr}` writes {}, which discards the value", PReg::PT),
+                )),
+                _ => {}
+            }
+        }
+    }
+
+    if kernel.is_empty() {
+        out.push(finding(
+            Severity::Error,
+            "missing-exit",
+            kernel,
+            None,
+            "kernel is empty: execution immediately runs off the end".to_string(),
+        ));
+        return out;
+    }
+
+    if !cfg.precise {
+        out.push(finding(
+            Severity::Warning,
+            "imprecise-cfg",
+            kernel,
+            None,
+            "kernel uses indirect branches or call/return; path-sensitive checks skipped"
+                .to_string(),
+        ));
+        out.sort_by_key(|f| f.pc);
+        return out;
+    }
+
+    let reachable = cfg.reachable();
+
+    // Unreachable blocks: report the first instruction of each dead block
+    // whose predecessor block is live (avoids one finding per instruction).
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !reachable[b] && !block.preds.iter().any(|p| !reachable[*p]) {
+            out.push(finding(
+                Severity::Warning,
+                "unreachable-code",
+                kernel,
+                Some(block.start),
+                format!("instructions {}..{} can never execute", block.start, block.end),
+            ));
+        }
+    }
+
+    // A reachable path that runs past the last instruction traps.
+    for &pc in &cfg.fall_off {
+        if reachable[cfg.block_of(pc)] {
+            out.push(finding(
+                Severity::Error,
+                "missing-exit",
+                kernel,
+                Some(pc),
+                format!("execution can run past instruction {pc} off the end of the kernel"),
+            ));
+        }
+    }
+
+    // Uninitialized reads: registers read before any definition reaches.
+    // The simulator zero-fills register files, so these execute
+    // deterministically here — but on real hardware the launch-time
+    // contents are undefined, making this a genuine portability defect.
+    let rd = ReachingDefs::compute(kernel, &cfg);
+    for (pc, instr) in instrs.iter().enumerate() {
+        if !reachable[cfg.block_of(pc as u32)] {
+            continue;
+        }
+        for u in instr.uses() {
+            match rd.classify_use(pc as u32, u) {
+                UseInit::Initialized => {}
+                UseInit::Uninit => out.push(finding(
+                    Severity::Error,
+                    "uninitialized-read",
+                    kernel,
+                    Some(pc as u32),
+                    format!("`{instr}` reads {u}, which is never written before this point"),
+                )),
+                UseInit::MaybeUninit => out.push(finding(
+                    Severity::Warning,
+                    "maybe-uninitialized-read",
+                    kernel,
+                    Some(pc as u32),
+                    format!("`{instr}` reads {u}, which is uninitialized on some paths"),
+                )),
+            }
+        }
+    }
+
+    // Dead writes: every destination unit dead after the instruction.
+    // Atomics and reductions are executed for their memory side effect, so
+    // a dead destination is normal there.
+    let live = Liveness::compute(kernel, &cfg);
+    let xl = cross_lane_uses(kernel);
+    for (pc, instr) in instrs.iter().enumerate() {
+        if !reachable[cfg.block_of(pc as u32)] {
+            continue;
+        }
+        if matches!(instr.op.family(), ExecFamily::Atom | ExecFamily::Red) {
+            continue;
+        }
+        let defs = instr.defs();
+        if defs.is_empty() {
+            continue;
+        }
+        let all_dead =
+            defs.iter().all(|d| !live.live_out(pc as u32).contains(*d) && !xl.contains(*d));
+        if all_dead {
+            out.push(finding(
+                Severity::Warning,
+                "dead-write",
+                kernel,
+                Some(pc as u32),
+                format!("`{instr}` writes only registers that are never read afterwards"),
+            ));
+        }
+    }
+
+    // Barriers under divergent control flow: if threads of a block take
+    // different paths around a BAR, the kernel deadlocks (the simulator
+    // raises a barrier-divergence trap). A BAR is suspect when its own
+    // guard is divergent, or when some divergent conditional branch C can
+    // bypass it: the BAR post-dominates one successor of C but not C
+    // itself.
+    let divergent = divergent_slots(kernel);
+    let pdom = Dominators::postdominators(&cfg, kernel);
+    for (pc, instr) in instrs.iter().enumerate() {
+        if instr.op.family() != ExecFamily::Bar || !reachable[cfg.block_of(pc as u32)] {
+            continue;
+        }
+        let bar_block = cfg.block_of(pc as u32);
+        if !instr.guard.is_always() && divergent.contains(gpu_isa::RegSlot::Pred(instr.guard.pred))
+        {
+            out.push(finding(
+                Severity::Warning,
+                "barrier-divergence",
+                kernel,
+                Some(pc as u32),
+                format!(
+                    "`{instr}` is guarded by {} which differs across threads; \
+                     a partial barrier deadlocks the block",
+                    instr.guard.pred
+                ),
+            ));
+            continue;
+        }
+        for (cb, cblock) in cfg.blocks.iter().enumerate() {
+            if !reachable[cb] || cblock.succs.len() < 2 {
+                continue;
+            }
+            let branch = &instrs[cblock.end as usize - 1];
+            if branch.op.family() != ExecFamily::Bra || branch.guard.is_always() {
+                continue;
+            }
+            if !divergent.contains(gpu_isa::RegSlot::Pred(branch.guard.pred)) {
+                continue;
+            }
+            let controls_bar = cblock.succs.iter().any(|&s| pdom.dominates(bar_block, s))
+                && !pdom.dominates(bar_block, cb);
+            if controls_bar {
+                out.push(finding(
+                    Severity::Warning,
+                    "barrier-divergence",
+                    kernel,
+                    Some(pc as u32),
+                    format!(
+                        "BAR at {pc} is control-dependent on the thread-divergent branch \
+                         at instruction {}; threads may not all reach it",
+                        cblock.end - 1
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+
+    out.sort_by(|a, b| a.pc.cmp(&b.pc).then_with(|| a.kind.cmp(b.kind)));
+    out
+}
+
+/// Lint every kernel of a module, concatenating findings in kernel order.
+pub fn lint_module(module: &Module) -> Vec<Finding> {
+    module.kernels().iter().flat_map(lint_kernel).collect()
+}
+
+/// Render findings as human-readable text, one line per finding.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        match f.pc {
+            Some(pc) => s.push_str(&format!(
+                "{}[{}] kernel `{}` pc {}: {}\n",
+                f.severity.as_str(),
+                f.kind,
+                f.kernel,
+                pc,
+                f.message
+            )),
+            None => s.push_str(&format!(
+                "{}[{}] kernel `{}`: {}\n",
+                f.severity.as_str(),
+                f.kind,
+                f.kernel,
+                f.message
+            )),
+        }
+    }
+    let errors = findings.iter().filter(|f| f.severity == Severity::Error).count();
+    let warnings = findings.len() - errors;
+    s.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array (stable schema; no external JSON
+/// dependency).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"severity\": \"{}\", \"kind\": \"{}\", \"kernel\": \"{}\", \"pc\": {}, \"message\": \"{}\"}}",
+            f.severity.as_str(),
+            json_escape(f.kind),
+            json_escape(&f.kernel),
+            match f.pc {
+                Some(pc) => pc.to_string(),
+                None => "null".to_string(),
+            },
+            json_escape(&f.message),
+        ));
+    }
+    s.push_str(if findings.is_empty() { "]\n" } else { "\n]\n" });
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::asm::KernelBuilder;
+    use gpu_isa::{CmpOp, Instr, Opcode, SpecialReg};
+
+    fn kinds(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let mut k = KernelBuilder::new("clean");
+        k.s2r(Reg(0), SpecialReg::GlobalTidX);
+        k.shli(Reg(1), Reg(0), 2);
+        k.movi(Reg(2), 0x1000);
+        k.iadd(Reg(1), Reg(1), Reg(2));
+        k.ldg(Reg(3), Reg(1), 0);
+        k.iaddi(Reg(3), Reg(3), 1);
+        k.stg(Reg(1), 0, Reg(3));
+        k.exit();
+        assert!(lint_kernel(&k.finish()).is_empty());
+    }
+
+    #[test]
+    fn uninitialized_read_is_an_error() {
+        let mut k = KernelBuilder::new("uninit");
+        k.iaddi(Reg(1), Reg(0), 1); // R0 never written
+        k.stg(Reg(1), 0, Reg(1));
+        k.exit();
+        let f = lint_kernel(&k.finish());
+        assert_eq!(kinds(&f), vec!["uninitialized-read"]);
+        assert_eq!(f[0].severity, Severity::Error);
+        assert_eq!(f[0].pc, Some(0));
+    }
+
+    #[test]
+    fn missing_exit_and_unreachable() {
+        let mut k = KernelBuilder::new("bad");
+        let end = k.new_label();
+        k.movi(Reg(0), 1); // 0
+        k.bra(end); // 1
+        k.movi(Reg(0), 2); // 2 — unreachable
+        k.bind(end);
+        k.iaddi(Reg(1), Reg(0), 0); // 3 — falls off the end
+        let f = lint_kernel(&k.finish());
+        assert!(f.iter().any(|f| f.kind == "unreachable-code" && f.pc == Some(2)));
+        assert!(f.iter().any(|f| f.kind == "missing-exit" && f.severity == Severity::Error));
+    }
+
+    #[test]
+    fn dead_write_and_rz_write() {
+        let mut k = KernelBuilder::new("dead");
+        k.movi(Reg(0), 7); // dead: never read
+        k.movi(Reg::RZ, 7); // write to RZ
+        k.exit();
+        let f = lint_kernel(&k.finish());
+        assert!(f.iter().any(|f| f.kind == "dead-write" && f.pc == Some(0)));
+        assert!(f.iter().any(|f| f.kind == "write-to-rz" && f.pc == Some(1)));
+    }
+
+    #[test]
+    fn divergent_barrier_is_flagged() {
+        let mut k = KernelBuilder::new("divbar");
+        let end = k.new_label();
+        k.s2r(Reg(0), SpecialReg::TidX); // 0
+        k.isetp(PReg(0), CmpOp::Lt, Reg(0), 4); // 1 — divergent predicate
+        k.bra_ifnot(PReg(0), end); // 2
+        k.push(Instr::new(Opcode::BAR)); // 3 — only some threads arrive
+        k.bind(end);
+        k.exit(); // 4
+        let f = lint_kernel(&k.finish());
+        assert!(f.iter().any(|f| f.kind == "barrier-divergence" && f.pc == Some(3)), "{f:?}");
+    }
+
+    #[test]
+    fn uniform_barrier_is_clean() {
+        let mut k = KernelBuilder::new("unibar");
+        let end = k.new_label();
+        k.s2r(Reg(0), SpecialReg::CtaIdX); // 0 — uniform within the block
+        k.isetp(PReg(0), CmpOp::Lt, Reg(0), 4); // 1
+        k.bra_ifnot(PReg(0), end); // 2
+        k.push(Instr::new(Opcode::BAR)); // 3 — all or no threads arrive
+        k.bind(end);
+        k.exit(); // 4
+        let f = lint_kernel(&k.finish());
+        assert!(!f.iter().any(|f| f.kind == "barrier-divergence"), "{f:?}");
+    }
+
+    #[test]
+    fn imprecise_cfg_skips_path_checks() {
+        let mut k = KernelBuilder::new("brx");
+        k.push(Instr::new(Opcode::BRX)); // indirect — no static successors
+        let f = lint_kernel(&k.finish());
+        assert_eq!(kinds(&f), vec!["imprecise-cfg"]);
+    }
+
+    #[test]
+    fn render_formats() {
+        let mut k = KernelBuilder::new("uninit");
+        k.iaddi(Reg(1), Reg(0), 1);
+        k.stg(Reg(1), 0, Reg(1));
+        k.exit();
+        let f = lint_kernel(&k.finish());
+        let text = render_text(&f);
+        assert!(text.contains("error[uninitialized-read] kernel `uninit` pc 0"));
+        assert!(text.contains("1 error(s), 0 warning(s)"));
+        let json = render_json(&f);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"kind\": \"uninitialized-read\""));
+        assert!(json.contains("\"pc\": 0"));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,161 @@
+//! A fixed-size bitset over the architectural register file.
+//!
+//! One bit per injectable register unit: 255 GPR units (`R0`–`R254`; `RZ`
+//! is hard-wired and never tracked) followed by 7 predicates (`P0`–`P6`;
+//! `PT` likewise excluded). Dense bitsets keep the dataflow fixpoints
+//! allocation-free in their inner loops.
+
+use gpu_isa::{PReg, Reg, RegSlot};
+
+const GPR_SLOTS: usize = 255;
+const PRED_SLOTS: usize = 7;
+const SLOTS: usize = GPR_SLOTS + PRED_SLOTS;
+const WORDS: usize = SLOTS.div_ceil(64);
+
+/// A set of [`RegSlot`]s backed by a fixed array of machine words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet {
+    bits: [u64; WORDS],
+}
+
+fn index(slot: RegSlot) -> Option<usize> {
+    match slot {
+        RegSlot::Gpr(r) if !r.is_zero_reg() => Some(r.index()),
+        RegSlot::Pred(p) if !p.is_true_reg() => Some(GPR_SLOTS + p.0 as usize),
+        _ => None,
+    }
+}
+
+impl RegSet {
+    /// The empty set.
+    pub const fn empty() -> RegSet {
+        RegSet { bits: [0; WORDS] }
+    }
+
+    /// Insert a slot; `RZ`/`PT` are silently ignored. Returns `true` if
+    /// the slot was not already present.
+    pub fn insert(&mut self, slot: RegSlot) -> bool {
+        let Some(i) = index(slot) else { return false };
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.bits[w] & b == 0;
+        self.bits[w] |= b;
+        fresh
+    }
+
+    /// Remove a slot.
+    pub fn remove(&mut self, slot: RegSlot) {
+        if let Some(i) = index(slot) {
+            self.bits[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Membership test. `RZ`/`PT` are never members.
+    pub fn contains(&self, slot: RegSlot) -> bool {
+        match index(slot) {
+            Some(i) => self.bits[i / 64] & (1u64 << (i % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Union `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            let merged = *a | b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// Remove every slot of `other` from `self`.
+    pub fn subtract(&mut self, other: &RegSet) {
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// `true` if no slot is present.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// Number of slots present.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the slots in register order (GPRs first, then predicates).
+    pub fn iter(&self) -> impl Iterator<Item = RegSlot> + '_ {
+        (0..SLOTS).filter_map(move |i| {
+            if self.bits[i / 64] & (1u64 << (i % 64)) == 0 {
+                return None;
+            }
+            Some(if i < GPR_SLOTS {
+                RegSlot::Gpr(Reg(i as u8))
+            } else {
+                RegSlot::Pred(PReg((i - GPR_SLOTS) as u8))
+            })
+        })
+    }
+
+    /// Build a set from an iterator of slots.
+    pub fn from_slots(slots: impl IntoIterator<Item = RegSlot>) -> RegSet {
+        let mut s = RegSet::empty();
+        for slot in slots {
+            s.insert(slot);
+        }
+        s
+    }
+}
+
+impl FromIterator<RegSlot> for RegSet {
+    fn from_iter<T: IntoIterator<Item = RegSlot>>(iter: T) -> RegSet {
+        RegSet::from_slots(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = RegSet::empty();
+        assert!(s.insert(RegSlot::Gpr(Reg(0))));
+        assert!(!s.insert(RegSlot::Gpr(Reg(0))));
+        assert!(s.insert(RegSlot::Gpr(Reg(254))));
+        assert!(s.insert(RegSlot::Pred(PReg(0))));
+        assert!(s.insert(RegSlot::Pred(PReg(6))));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(RegSlot::Gpr(Reg(254))));
+        assert!(!s.contains(RegSlot::Gpr(Reg(1))));
+        s.remove(RegSlot::Pred(PReg(0)));
+        assert!(!s.contains(RegSlot::Pred(PReg(0))));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn hardwired_registers_are_never_members() {
+        let mut s = RegSet::empty();
+        assert!(!s.insert(RegSlot::Gpr(Reg::RZ)));
+        assert!(!s.insert(RegSlot::Pred(PReg::PT)));
+        assert!(s.is_empty());
+        assert!(!s.contains(RegSlot::Gpr(Reg::RZ)));
+        assert!(!s.contains(RegSlot::Pred(PReg::PT)));
+    }
+
+    #[test]
+    fn union_subtract_iter() {
+        let a = RegSet::from_slots([RegSlot::Gpr(Reg(1)), RegSlot::Pred(PReg(2))]);
+        let mut b = RegSet::from_slots([RegSlot::Gpr(Reg(7))]);
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a), "second union is a no-op");
+        assert_eq!(
+            b.iter().collect::<Vec<_>>(),
+            vec![RegSlot::Gpr(Reg(1)), RegSlot::Gpr(Reg(7)), RegSlot::Pred(PReg(2))]
+        );
+        b.subtract(&a);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![RegSlot::Gpr(Reg(7))]);
+    }
+}

@@ -1,6 +1,6 @@
 //! The instruction, kernel, and module model.
 
-use crate::{IsaError, Modifier, Opcode, PReg, Reg, SpecialReg};
+use crate::{ExecFamily, IsaError, Modifier, Opcode, PReg, Reg, SpecialReg};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -238,6 +238,40 @@ impl fmt::Display for Guard {
     }
 }
 
+/// One architectural register unit an instruction reads or writes: a
+/// 32-bit GPR unit or a predicate register.
+///
+/// Register pairs contribute both halves; `RZ` and `PT` never appear in
+/// def/use sets (reads of them are constants, writes to them are
+/// discarded). This is the vocabulary of the dataflow analyses in
+/// `gpu-analysis`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegSlot {
+    /// A general-purpose 32-bit register unit (`R0`–`R254`).
+    Gpr(Reg),
+    /// A predicate register (`P0`–`P6`).
+    Pred(PReg),
+}
+
+impl fmt::Display for RegSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegSlot::Gpr(r) => write!(f, "{r}"),
+            RegSlot::Pred(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+fn push_slot(out: &mut Vec<RegSlot>, slot: RegSlot) {
+    let hardwired = match slot {
+        RegSlot::Gpr(r) => r.is_zero_reg(),
+        RegSlot::Pred(p) => p.is_true_reg(),
+    };
+    if !hardwired && !out.contains(&slot) {
+        out.push(slot);
+    }
+}
+
 /// Maximum number of source operands per instruction.
 pub const MAX_SRCS: usize = 4;
 
@@ -308,6 +342,58 @@ impl Instr {
             Operand::Mem(m) => Some(*m),
             _ => None,
         })
+    }
+
+    /// The register units this instruction *writes* (its def set):
+    /// GPR destinations with pairs expanded plus predicate destinations,
+    /// excluding the hard-wired `RZ`/`PT`, deduplicated.
+    pub fn defs(&self) -> Vec<RegSlot> {
+        let mut out = Vec::new();
+        for d in self.dsts {
+            for r in d.gpr_units() {
+                push_slot(&mut out, RegSlot::Gpr(r));
+            }
+            if let Some(p) = d.pred_unit() {
+                push_slot(&mut out, RegSlot::Pred(p));
+            }
+        }
+        out
+    }
+
+    /// The register units this instruction *reads* (its use set):
+    /// source registers (pairs expanded), predicate sources, memory base
+    /// addresses, and the guard predicate when the instruction is
+    /// predicated — excluding `RZ`/`PT`, deduplicated.
+    ///
+    /// A 64-bit source contributes both pair halves even where an opcode's
+    /// semantics only consume the low word, so the set over-approximates:
+    /// it is a superset of the units any execution actually reads, which is
+    /// the sound direction for liveness-based dead-fault pruning. `VOTE`
+    /// without a predicate source contributes `R0`, matching the
+    /// simulator's cross-lane fallback read.
+    pub fn uses(&self) -> Vec<RegSlot> {
+        let mut out = Vec::new();
+        if !self.guard.is_always() {
+            push_slot(&mut out, RegSlot::Pred(self.guard.pred));
+        }
+        for s in self.srcs {
+            match s {
+                Operand::R(r) => push_slot(&mut out, RegSlot::Gpr(r)),
+                Operand::R64(r) => {
+                    push_slot(&mut out, RegSlot::Gpr(r));
+                    push_slot(&mut out, RegSlot::Gpr(r.pair_hi()));
+                }
+                Operand::P(p) | Operand::NotP(p) => push_slot(&mut out, RegSlot::Pred(p)),
+                Operand::Mem(m) => push_slot(&mut out, RegSlot::Gpr(m.base)),
+                Operand::Imm(_) | Operand::Sr(_) | Operand::None => {}
+            }
+        }
+        if self.op.family() == ExecFamily::Vote
+            && !matches!(self.srcs[0], Operand::P(_) | Operand::NotP(_))
+        {
+            push_slot(&mut out, RegSlot::Gpr(Reg(0)));
+        }
+        out
     }
 }
 
@@ -461,6 +547,59 @@ mod tests {
         assert_eq!(i.pred_dests(), vec![PReg(2)]);
         assert!(i.gpr_dests().is_empty());
         assert!(i.has_dest());
+    }
+
+    #[test]
+    fn defs_cover_gpr_and_pred_dests() {
+        let i = fadd(3, 1, 2);
+        assert_eq!(i.defs(), vec![RegSlot::Gpr(Reg(3))]);
+
+        let mut d = Instr::new(Opcode::DADD);
+        d.dsts[0] = Dst::R64(Reg(6));
+        d.dsts[1] = Dst::P(PReg(1));
+        assert_eq!(
+            d.defs(),
+            vec![RegSlot::Gpr(Reg(6)), RegSlot::Gpr(Reg(7)), RegSlot::Pred(PReg(1))]
+        );
+
+        let mut z = Instr::new(Opcode::FADD);
+        z.dsts[0] = Dst::R(Reg::RZ);
+        z.dsts[1] = Dst::P(PReg::PT);
+        assert!(z.defs().is_empty());
+    }
+
+    #[test]
+    fn uses_cover_sources_guard_and_mem_base() {
+        let mut i = fadd(3, 1, 2);
+        i.guard = Guard::if_false(PReg(2));
+        assert_eq!(
+            i.uses(),
+            vec![RegSlot::Pred(PReg(2)), RegSlot::Gpr(Reg(1)), RegSlot::Gpr(Reg(2))]
+        );
+
+        // Pair source expands; RZ and PT never appear; duplicates collapse.
+        let mut d = Instr::new(Opcode::DMUL);
+        d.srcs[0] = Operand::R64(Reg(4));
+        d.srcs[1] = Operand::R64(Reg(4));
+        d.srcs[2] = Operand::R(Reg::RZ);
+        d.srcs[3] = Operand::P(PReg::PT);
+        assert_eq!(d.uses(), vec![RegSlot::Gpr(Reg(4)), RegSlot::Gpr(Reg(5))]);
+
+        let mut l = Instr::new(Opcode::LDG);
+        l.srcs[0] = Operand::Mem(MemRef { base: Reg(9), offset: 4, space: Space::Global });
+        assert_eq!(l.uses(), vec![RegSlot::Gpr(Reg(9))]);
+    }
+
+    #[test]
+    fn vote_without_pred_source_reads_r0() {
+        // The simulator's cross-lane snapshot reads R0 as the vote
+        // predicate when srcs[0] is not a predicate operand.
+        let v = Instr::new(Opcode::VOTE);
+        assert_eq!(v.uses(), vec![RegSlot::Gpr(Reg(0))]);
+
+        let mut vp = Instr::new(Opcode::VOTE);
+        vp.srcs[0] = Operand::NotP(PReg(3));
+        assert_eq!(vp.uses(), vec![RegSlot::Pred(PReg(3))]);
     }
 
     #[test]

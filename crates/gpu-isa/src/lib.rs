@@ -53,7 +53,7 @@ mod opcode;
 mod reg;
 
 pub use error::IsaError;
-pub use instr::{Dst, Guard, Instr, Kernel, MemRef, Module, Operand, Space};
+pub use instr::{Dst, Guard, Instr, Kernel, MemRef, Module, Operand, RegSlot, Space};
 pub use modifier::{AtomOp, BoolOp, CmpOp, MemWidth, Modifier, MufuFunc, RoundMode, ShflMode};
 pub use opcode::{ExecFamily, InstrClass, Opcode};
 pub use reg::{PReg, Reg, SpecialReg};

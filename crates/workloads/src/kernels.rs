@@ -248,10 +248,7 @@ pub fn wave_step_f32(name: &str) -> Kernel {
     k.fmul(acc, acc, c);
     k.fmuli(t, center, 2.0);
     k.fadd(acc, acc, t);
-    k.ldg(t, pp, 0);
-    k.isub(t, Reg::RZ, t); // negate bits? no — float negate below
-                           // float negation: acc = acc - prev ⇒ use FADD with negated prev via
-                           // multiply by -1.
+    // float negation: acc = acc - prev ⇒ FADD with prev multiplied by -1.
     k.ldg(t, pp, 0);
     k.fmuli(t, t, -1.0);
     k.fadd(acc, acc, t);
@@ -387,8 +384,7 @@ pub fn lj_force_f64(name: &str) -> Kernel {
     k.i2d(one, t);
     k.movi(t, 0);
     k.i2d(acc, t); // acc = 0.0
-    k.dmul(half, one, Reg::RZ); // placeholder; set below
-                                // half = 0.5: build from one via dmul with f32 imm 0.5 (widened)
+                   // half = 0.5: build from one via dmul with f32 imm 0.5 (widened)
     let mut half_i = gpu_isa::Instr::new(gpu_isa::Opcode::DMUL);
     half_i.dsts[0] = gpu_isa::Dst::R64(half);
     half_i.srcs[0] = gpu_isa::Operand::R64(one);
