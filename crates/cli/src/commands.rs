@@ -5,14 +5,16 @@ use gpu_isa::disasm;
 use gpu_runtime::{run_program, RuntimeConfig};
 use nvbit::{CallSite, NvBit, NvBitTool};
 use nvbitfi::{
-    classify, golden_run, report, run_permanent_campaign, run_transient_campaign, select_transient,
-    stats, BitFlipModel, CampaignConfig, InstrGroup, PermanentCampaignConfig, PermanentInjector,
-    PermanentParams, Profile, ProfilingMode, TransientInjector, TransientParams,
+    atomic_write, classify, golden_run, report, run_permanent_campaign,
+    run_transient_campaign_with, select_transient, stats, BitFlipModel, CampaignConfig,
+    CampaignHooks, InjectionRun, InstrGroup, Journal, PermanentCampaignConfig, PermanentInjector,
+    PermanentParams, Profile, ProfilingMode, TransientCampaign, TransientInjector, TransientParams,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::Duration;
 use workloads::{BenchEntry, Scale};
 
 const USAGE: &str = "\
@@ -24,7 +26,8 @@ commands:
   select <prog> --profile FILE [--group ID] [--bitflip ID] [--seed S] [--count N] [--out FILE]
   inject <prog> --params FILE [--scale paper|test]
   run-list <prog> --list FILE [--log FILE]
-  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--no-checkpoint] [--no-static-prune]
+  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--max-retries N] [--deadline-ms MS] [--no-checkpoint] [--no-static-prune]
+  resume <LOG> [--scale paper|test]
   pf <prog> --opcode MNEMONIC [--sm N] [--lane N] [--mask HEX]
   pf-campaign <prog> [--seed S]
   lint <prog|MODULE.bin> [--json] [--scale paper|test]
@@ -32,6 +35,11 @@ commands:
   assemble --in LISTING --out MODULE.bin
   disasm-bin --in MODULE.bin
   trace <prog> [--top N] [--mem N]
+
+campaign logs are durable journals: every classified run is flushed to
+--log as it completes, Ctrl-C stops dispatching and flushes a partial log,
+and `nvbitfi resume <LOG>` continues an interrupted campaign to the same
+final counts an uninterrupted run would have produced.
 ";
 
 /// Dispatch a parsed command line.
@@ -53,6 +61,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "inject" => inject(&args),
         "run-list" => run_list(&args),
         "campaign" => campaign(&args),
+        "resume" => resume(&args),
         "pf" => pf(&args),
         "pf-campaign" => pf_campaign(&args),
         "lint" => lint(&args),
@@ -126,7 +135,7 @@ fn profile(args: &Args) -> Result<(), String> {
     let text = p.to_file();
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, &text).map_err(|err| err.to_string())?;
+            atomic_write(path, &text).map_err(|err| err.to_string())?;
             println!(
                 "wrote {} dynamic kernels ({} dynamic instructions, {mode} profiling) to {path}",
                 p.kernels.len(),
@@ -149,7 +158,7 @@ fn select(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         match args.get("out") {
             Some(path) => {
-                std::fs::write(path, params.to_file()).map_err(|e| e.to_string())?;
+                atomic_write(path, params.to_file()).map_err(|e| e.to_string())?;
                 println!("wrote fault parameters to {path}: {params}");
             }
             None => print!("{}", params.to_file()),
@@ -163,7 +172,7 @@ fn select(args: &Args) -> Result<(), String> {
         let text = nvbitfi::logfile::write_injection_list(&sites);
         match args.get("out") {
             Some(path) => {
-                std::fs::write(path, text).map_err(|e| e.to_string())?;
+                atomic_write(path, text).map_err(|e| e.to_string())?;
                 println!("wrote {count} faults to {path}");
             }
             None => print!("{text}"),
@@ -184,35 +193,45 @@ fn run_list(args: &Args) -> Result<(), String> {
     let mut run_cfg = cfg;
     run_cfg.instr_budget = Some(golden.suggested_budget());
 
+    // Journal incrementally: run-list logs are durable the same way
+    // campaign logs are (no resume meta — the list file is the authority).
+    let mut journal = match args.get("log") {
+        Some(path) => {
+            let header = nvbitfi::logfile::results_log_header(e.name, &[]);
+            Some(Journal::create(path, &header).map_err(|err| format!("create {path}: {err}"))?)
+        }
+        None => None,
+    };
+    crate::sigint::install();
+
+    let total = sites.len();
     let mut counts = nvbitfi::OutcomeCounts::default();
-    let mut runs = Vec::new();
-    for params in sites {
+    for (done, params) in sites.into_iter().enumerate() {
+        if crate::sigint::interrupted() {
+            println!("interrupted — stopping after {done} of {total} runs");
+            break;
+        }
         let t = std::time::Instant::now();
         let (tool, handle) = TransientInjector::new(params.clone());
         let out = run_program(e.program.as_ref(), run_cfg.clone(), Some(Box::new(tool)));
         let outcome = classify(&golden, &out, e.check.as_ref());
         counts.add(&outcome);
-        runs.push(nvbitfi::InjectionRun {
+        let run = nvbitfi::InjectionRun {
             params,
             outcome,
             injected: handle.get().injected,
             wall: t.elapsed(),
             prefix_instrs_skipped: out.prefix_instrs_skipped,
             pruned: false,
-        });
+            attempts: 1,
+            resumed: false,
+        };
+        if let Some(j) = journal.as_mut() {
+            j.append(&nvbitfi::logfile::results_log_row(&run)).map_err(|err| err.to_string())?;
+        }
     }
     println!("{counts}");
     if let Some(log_path) = args.get("log") {
-        let campaign = nvbitfi::TransientCampaign {
-            program: e.name.to_string(),
-            profile: Profile { mode: nvbitfi::ProfilingMode::Exact, kernels: vec![] },
-            golden,
-            counts,
-            runs,
-            timing: Default::default(),
-        };
-        std::fs::write(log_path, nvbitfi::logfile::write_results_log(&campaign))
-            .map_err(|err| err.to_string())?;
         println!("results log written to {log_path}");
     }
     Ok(())
@@ -244,9 +263,78 @@ fn inject(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn campaign(args: &Args) -> Result<(), String> {
-    let e = entry(args, scale(args)?)?;
-    let cfg = CampaignConfig {
+/// Journal-and-interrupt hooks shared by `campaign` and `resume`: appends
+/// one flushed v4 row per completed run and stops dispatch after Ctrl-C.
+struct CliHooks {
+    journal: Option<Mutex<Journal>>,
+    io_error: Mutex<Option<String>>,
+}
+
+impl CliHooks {
+    fn new(journal: Option<Journal>) -> CliHooks {
+        CliHooks { journal: journal.map(Mutex::new), io_error: Mutex::new(None) }
+    }
+
+    /// The first journal-append failure, if any (workers keep running —
+    /// losing durability must not also lose the in-memory campaign).
+    fn take_error(&self) -> Option<String> {
+        self.io_error.lock().take()
+    }
+}
+
+impl CampaignHooks for CliHooks {
+    fn on_run(&self, run: &InjectionRun) {
+        if let Some(j) = &self.journal {
+            if let Err(err) = j.lock().append(&nvbitfi::logfile::results_log_row(run)) {
+                let mut slot = self.io_error.lock();
+                if slot.is_none() {
+                    *slot = Some(err.to_string());
+                }
+            }
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        crate::sigint::interrupted()
+    }
+}
+
+fn mode_name(m: ProfilingMode) -> &'static str {
+    match m {
+        ProfilingMode::Exact => "exact",
+        ProfilingMode::Approximate => "approx",
+    }
+}
+
+fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Paper => "paper",
+        Scale::Test => "test",
+    }
+}
+
+/// The `# meta` pairs a results journal records so `resume` can rebuild the
+/// identical seed-deterministic campaign without the original command line.
+fn campaign_meta(sc: Scale, cfg: &CampaignConfig) -> Vec<(&'static str, String)> {
+    vec![
+        ("scale", scale_name(sc).to_string()),
+        ("igid", cfg.group.id().to_string()),
+        ("bfm", cfg.bit_flip.id().to_string()),
+        ("injections", cfg.injections.to_string()),
+        ("seed", cfg.seed.to_string()),
+        ("mode", mode_name(cfg.profiling).to_string()),
+        ("checkpoints", u8::from(cfg.use_checkpoints).to_string()),
+        ("prune", u8::from(cfg.use_static_prune).to_string()),
+        ("max_retries", cfg.max_retries.to_string()),
+        (
+            "deadline_ms",
+            cfg.run_deadline.map_or_else(|| "-".to_string(), |d| d.as_millis().to_string()),
+        ),
+    ]
+}
+
+fn campaign_cfg(args: &Args) -> Result<CampaignConfig, String> {
+    Ok(CampaignConfig {
         injections: args.get_or("injections", 100)?,
         seed: args.get_or("seed", 0x5EED_u64)?,
         group: group(args)?,
@@ -254,19 +342,160 @@ fn campaign(args: &Args) -> Result<(), String> {
         profiling: mode(args)?,
         use_checkpoints: !args.switch("no-checkpoint"),
         use_static_prune: !args.switch("no-static-prune"),
+        max_retries: args.get_or("max-retries", CampaignConfig::default().max_retries)?,
+        run_deadline: match args.get("deadline-ms") {
+            Some(v) => Some(Duration::from_millis(
+                v.parse().map_err(|_| format!("bad value for --deadline-ms: `{v}`"))?,
+            )),
+            None => None,
+        },
         ..CampaignConfig::default()
-    };
-    println!("running {} transient injections into {} …", cfg.injections, e.name);
-    let result = run_transient_campaign(e.program.as_ref(), e.check.as_ref(), &cfg)
-        .map_err(|err| err.to_string())?;
-    println!("{}", report::transient_summary(&result));
-    println!("90% confidence margin: ±{:.1}%", stats::error_margin(cfg.injections, 0.90) * 100.0);
-    if let Some(log_path) = args.get("log") {
-        std::fs::write(log_path, nvbitfi::logfile::write_results_log(&result))
-            .map_err(|err| err.to_string())?;
-        println!("results log written to {log_path}");
+    })
+}
+
+/// Report a finished (possibly interrupted) campaign and surface journal
+/// state: robustness counters, the classified-runs confidence margin, any
+/// journal I/O failure, and the resume hint.
+fn finish_campaign(
+    log_path: Option<&str>,
+    result: &TransientCampaign,
+    hooks: &CliHooks,
+) -> Result<(), String> {
+    println!("{}", report::transient_summary(result));
+    let classified = result.counts.classified();
+    if classified > 0 {
+        println!(
+            "90% confidence margin: ±{:.1}% (over {classified} classified runs)",
+            stats::error_margin(classified as usize, 0.90) * 100.0,
+        );
+    } else {
+        println!("90% confidence margin: n/a (no classified runs)");
+    }
+    if let Some(err) = hooks.take_error() {
+        return Err(format!("journal write failed: {err}"));
+    }
+    if let Some(path) = log_path {
+        println!("results log written to {path}");
+    }
+    if result.interrupted {
+        match log_path {
+            Some(path) => {
+                println!("interrupted — completed runs are journaled");
+                println!("resume with: nvbitfi resume {path}");
+            }
+            None => println!("interrupted — partial results (run with --log to make resumable)"),
+        }
     }
     Ok(())
+}
+
+fn campaign(args: &Args) -> Result<(), String> {
+    let sc = scale(args)?;
+    let e = entry(args, sc)?;
+    let cfg = campaign_cfg(args)?;
+    let journal = match args.get("log") {
+        Some(path) => {
+            let header = nvbitfi::logfile::results_log_header(e.name, &campaign_meta(sc, &cfg));
+            Some(Journal::create(path, &header).map_err(|err| format!("create {path}: {err}"))?)
+        }
+        None => None,
+    };
+    crate::sigint::install();
+    println!("running {} transient injections into {} …", cfg.injections, e.name);
+    let hooks = CliHooks::new(journal);
+    let result =
+        run_transient_campaign_with(e.program.as_ref(), e.check.as_ref(), &cfg, Vec::new(), &hooks)
+            .map_err(|err| err.to_string())?;
+    finish_campaign(args.get("log"), &result, &hooks)
+}
+
+fn resume(args: &Args) -> Result<(), String> {
+    let log_path = args.positional(0).ok_or("missing results log; usage: nvbitfi resume <LOG>")?;
+    let text = std::fs::read_to_string(log_path).map_err(|err| format!("{log_path}: {err}"))?;
+    let header = nvbitfi::logfile::parse_log_header(&text);
+    let program = header
+        .program
+        .clone()
+        .ok_or("log has no `program=` header line; is this a results log?")?;
+    let get = |k: &str| header.meta.get(k).map(String::as_str);
+    let need = |k: &str| {
+        get(k).ok_or_else(|| {
+            format!(
+                "log is missing `# meta {k}=` (written by campaign --log since v4); cannot resume"
+            )
+        })
+    };
+
+    let sc = match args.get("scale").or(get("scale")) {
+        None | Some("paper") => Scale::Paper,
+        Some("test") => Scale::Test,
+        Some(other) => return Err(format!("bad scale `{other}` (paper|test)")),
+    };
+    let e = workloads::find(sc, &program)
+        .ok_or_else(|| format!("unknown program `{program}` named by the log"))?;
+    let group_id: u8 = need("igid")?.parse().map_err(|_| "bad `# meta igid=`".to_string())?;
+    let bfm_id: u8 = need("bfm")?.parse().map_err(|_| "bad `# meta bfm=`".to_string())?;
+    let cfg = CampaignConfig {
+        injections: need("injections")?
+            .parse()
+            .map_err(|_| "bad `# meta injections=`".to_string())?,
+        seed: need("seed")?.parse().map_err(|_| "bad `# meta seed=`".to_string())?,
+        group: InstrGroup::from_id(group_id).ok_or("bad `# meta igid=`")?,
+        bit_flip: BitFlipModel::from_id(bfm_id).ok_or("bad `# meta bfm=`")?,
+        profiling: match get("mode") {
+            None | Some("exact") => ProfilingMode::Exact,
+            Some("approx") => ProfilingMode::Approximate,
+            Some(other) => return Err(format!("bad `# meta mode={other}`")),
+        },
+        use_checkpoints: get("checkpoints") != Some("0"),
+        use_static_prune: get("prune") != Some("0"),
+        max_retries: match get("max_retries") {
+            Some(v) => v.parse().map_err(|_| "bad `# meta max_retries=`".to_string())?,
+            None => CampaignConfig::default().max_retries,
+        },
+        run_deadline: match get("deadline_ms") {
+            None | Some("-") => None,
+            Some(v) => Some(Duration::from_millis(
+                v.parse().map_err(|_| "bad `# meta deadline_ms=`".to_string())?,
+            )),
+        },
+        ..CampaignConfig::default()
+    };
+
+    let (rows, torn) =
+        nvbitfi::logfile::recover_results_log(&text).map_err(|err| err.to_string())?;
+    if torn {
+        println!("note: dropped a torn final line (crash mid-append); its run re-executes");
+    }
+    let prior = nvbitfi::logfile::to_runs(rows);
+    let reran_infra = prior.iter().filter(|r| r.outcome.is_infra()).count();
+    if reran_infra > 0 {
+        println!("note: {reran_infra} prior infra-error run(s) get a fresh attempt");
+    }
+
+    // Rewrite the journal duplicate-free before appending: keep the header
+    // (meta intact) and every honored verdict; drop the torn tail and any
+    // infra rows being re-run. Atomic, so a crash here cannot lose the log.
+    let meta_pairs: Vec<(&str, String)> =
+        header.meta.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let mut content = nvbitfi::logfile::results_log_header(&program, &meta_pairs);
+    let kept = prior.iter().filter(|r| !r.outcome.is_infra()).count();
+    for run in prior.iter().filter(|r| !r.outcome.is_infra()) {
+        content.push_str(&nvbitfi::logfile::results_log_row(run));
+    }
+    atomic_write(log_path, &content).map_err(|err| format!("rewrite {log_path}: {err}"))?;
+    let journal = Journal::append_to(log_path).map_err(|err| format!("open {log_path}: {err}"))?;
+
+    crate::sigint::install();
+    println!(
+        "resuming campaign on {program}: {kept} of {} verdicts reloaded from {log_path} …",
+        cfg.injections
+    );
+    let hooks = CliHooks::new(Some(journal));
+    let result =
+        run_transient_campaign_with(e.program.as_ref(), e.check.as_ref(), &cfg, prior, &hooks)
+            .map_err(|err| err.to_string())?;
+    finish_campaign(Some(log_path), &result, &hooks)
 }
 
 fn pf(args: &Args) -> Result<(), String> {
@@ -416,7 +645,7 @@ fn assemble(args: &Args) -> Result<(), String> {
     let text = std::fs::read_to_string(in_path).map_err(|e| e.to_string())?;
     let module = gpu_isa::asm_text::parse_module(&text).map_err(|e| e.to_string())?;
     let bytes = gpu_isa::encode::encode_module(&module);
-    std::fs::write(out_path, &bytes).map_err(|e| e.to_string())?;
+    atomic_write(out_path, &bytes).map_err(|e| e.to_string())?;
     println!(
         "assembled module `{}` ({} kernels, {} bytes) to {out_path}",
         module.name(),

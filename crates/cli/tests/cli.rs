@@ -193,11 +193,132 @@ fn split_campaign_via_list_and_log() {
     let log = std::fs::read_to_string(&log_path).expect("log");
     let rows = log.lines().filter(|l| !l.starts_with('#')).count();
     assert_eq!(rows, 8, "one result row per fault:\n{log}");
-    assert!(stdout(&o).contains("8 runs"), "{}", stdout(&o));
+    assert!(stdout(&o).contains("8 classified runs"), "{}", stdout(&o));
+    assert!(log.starts_with("# nvbitfi results log v4"), "journal header:\n{log}");
 
     for p in [profile_path, list_path, log_path] {
         let _ = std::fs::remove_file(p);
     }
+}
+
+/// The deterministic part of a campaign's outcome report: the tally from
+/// "SDC" up to "potential DUEs" (timings vary run to run, counts must not).
+fn counts_of(out: &str) -> String {
+    let start = out.find("SDC ").expect("counts present");
+    let end = out[start..].find("potential DUEs").expect("counts end present");
+    out[start..start + end].to_string()
+}
+
+#[test]
+fn campaign_journal_resumes_after_crash() {
+    let log_path = tmp("resume-log.txt");
+    let log = log_path.to_str().expect("utf8");
+
+    // Full campaign with journaling plus the robustness flags.
+    let o = nvbitfi(&[
+        "campaign",
+        "314.omriq",
+        "--scale",
+        "test",
+        "--injections",
+        "6",
+        "--seed",
+        "7",
+        "--max-retries",
+        "2",
+        "--deadline-ms",
+        "10000",
+        "--log",
+        log,
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let full = stdout(&o);
+    assert!(full.contains("0 infra errors"), "{full}");
+    let baseline = counts_of(&full);
+
+    let text = std::fs::read_to_string(&log_path).expect("log");
+    assert!(text.starts_with("# nvbitfi results log v4 program=314.omriq"), "{text}");
+    for meta in [
+        "# meta scale=test",
+        "# meta seed=7",
+        "# meta injections=6",
+        "# meta max_retries=2",
+        "# meta deadline_ms=10000",
+    ] {
+        assert!(text.contains(meta), "missing `{meta}`:\n{text}");
+    }
+    let data: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(data.len(), 6, "{text}");
+
+    // Simulate a crash mid-append: three complete rows plus a torn tail.
+    let header: String =
+        text.lines().filter(|l| l.starts_with('#')).map(|l| format!("{l}\n")).collect();
+    let crashed =
+        format!("{header}{}\n{}\n{}\n{}", data[0], data[1], data[2], &data[3][..data[3].len() / 2]);
+    std::fs::write(&log_path, crashed).expect("truncate");
+
+    let o = nvbitfi(&["resume", log]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains("torn final line"), "{out}");
+    assert!(out.contains("3 of 6 verdicts reloaded"), "{out}");
+    assert!(out.contains("3 fresh, 3 resumed"), "{out}");
+    assert_eq!(counts_of(&out), baseline, "resume reproduces the uninterrupted tally\n{out}");
+    let text = std::fs::read_to_string(&log_path).expect("log");
+    assert_eq!(
+        text.lines().filter(|l| !l.starts_with('#')).count(),
+        6,
+        "journal is duplicate-free after resume:\n{text}"
+    );
+
+    // Resuming an already-complete log reloads everything, runs nothing.
+    let o = nvbitfi(&["resume", log]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains("6 of 6 verdicts reloaded"), "{out}");
+    assert!(out.contains("0 fresh, 6 resumed"), "{out}");
+    assert_eq!(counts_of(&out), baseline, "{out}");
+
+    let _ = std::fs::remove_file(log_path);
+}
+
+#[test]
+fn all_infra_campaign_reports_without_margin() {
+    // --deadline-ms 0 makes every run overrun: no classified runs at all.
+    // The report must degrade gracefully instead of panicking on an empty
+    // confidence-margin denominator.
+    let o = nvbitfi(&[
+        "campaign",
+        "314.omriq",
+        "--scale",
+        "test",
+        "--injections",
+        "4",
+        "--seed",
+        "7",
+        "--deadline-ms",
+        "0",
+        "--max-retries",
+        "0",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = stdout(&o);
+    assert!(out.contains("4 infra errors"), "{out}");
+    assert!(out.contains("n/a (no classified runs)"), "{out}");
+}
+
+#[test]
+fn resume_rejects_logs_without_meta() {
+    let log_path = tmp("meta-less.txt");
+    std::fs::write(&log_path, "# nvbitfi results log v3 program=314.omriq\n").expect("write");
+    let o = nvbitfi(&["resume", log_path.to_str().expect("utf8")]);
+    assert!(!o.status.success());
+    assert!(
+        String::from_utf8_lossy(&o.stderr).contains("meta"),
+        "{}",
+        String::from_utf8_lossy(&o.stderr)
+    );
+    let _ = std::fs::remove_file(log_path);
 }
 
 #[test]

@@ -13,7 +13,7 @@ use crate::bitflip::BitFlipModel;
 use crate::error::FiError;
 use crate::golden::{golden_run, golden_run_recording, GoldenOutput};
 use crate::igid::InstrGroup;
-use crate::outcome::{classify, Outcome, OutcomeClass, OutcomeCounts, SdcCheck};
+use crate::outcome::{classify, InfraKind, Outcome, OutcomeClass, OutcomeCounts, SdcCheck};
 use crate::params::{PermanentParams, TransientParams};
 use crate::permanent::PermanentInjector;
 use crate::profile::{profile_program, Profile, ProfilingMode};
@@ -55,6 +55,42 @@ pub struct CampaignConfig {
     /// are classified Masked without simulation. Sound by construction —
     /// see [`crate::prune`] — and disabled by `--no-static-prune`.
     pub use_static_prune: bool,
+    /// Extra execution attempts granted to a run whose worker panicked or
+    /// whose wall-clock deadline expired, before the site is recorded as
+    /// [`OutcomeClass::InfraError`]. `0` records the first failure.
+    pub max_retries: u32,
+    /// Pause between retry attempts, scaled linearly by the attempt number
+    /// (deterministic backoff). `Duration::ZERO` retries immediately.
+    pub retry_backoff: Duration,
+    /// Per-run wall-clock deadline. A run that outlives it is killed by the
+    /// simulator's deadline poll, retried per `max_retries`, and ultimately
+    /// recorded as [`OutcomeClass::InfraError`] — the backstop against
+    /// runaway runs the instruction budget cannot catch (e.g. host-side
+    /// loops). `None` disables the deadline.
+    pub run_deadline: Option<Duration>,
+    /// Test-only fault injector for the harness itself: called before each
+    /// execution attempt with `(site_index, attempt)`; returning `true`
+    /// panics the worker at that point. `None` (always, outside tests)
+    /// disables it.
+    pub fault_hook: Option<FaultHook>,
+}
+
+/// A harness-fault injector for testing worker isolation: `(site_index,
+/// attempt)` → `true` panics the worker before that execution attempt.
+#[derive(Clone)]
+pub struct FaultHook(pub Arc<dyn Fn(usize, u32) -> bool + Send + Sync>);
+
+impl FaultHook {
+    /// Wrap a predicate as a hook.
+    pub fn new(f: impl Fn(usize, u32) -> bool + Send + Sync + 'static) -> FaultHook {
+        FaultHook(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FaultHook(..)")
+    }
 }
 
 impl Default for CampaignConfig {
@@ -69,6 +105,10 @@ impl Default for CampaignConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             use_checkpoints: true,
             use_static_prune: true,
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(50),
+            run_deadline: None,
+            fault_hook: None,
         }
     }
 }
@@ -91,6 +131,13 @@ pub struct InjectionRun {
     /// `true` if the outcome came from static dead-fault pruning rather
     /// than a simulated run (always Masked, `wall` is zero).
     pub pruned: bool,
+    /// Execution attempts this verdict took (`1` for a clean first run;
+    /// `> 1` means the worker panicked or overran its deadline and was
+    /// retried).
+    pub attempts: u32,
+    /// `true` if this run's verdict was reloaded from a prior campaign's
+    /// journal by `resume` rather than executed in this campaign.
+    pub resumed: bool,
 }
 
 /// Wall-clock accounting for overhead analysis (Figures 4 and 5).
@@ -139,10 +186,15 @@ pub struct TransientCampaign {
     pub golden: GoldenOutput,
     /// Aggregate outcome tally.
     pub counts: OutcomeCounts,
-    /// Per-injection details, in selection order.
+    /// Per-injection details, in selection order. After an interrupted
+    /// campaign this holds only the sites that completed.
     pub runs: Vec<InjectionRun>,
     /// Timing for overhead analysis.
     pub timing: CampaignTiming,
+    /// `true` if the campaign stopped early ([`CampaignHooks::should_stop`])
+    /// with sites still unclassified; `counts` and `runs` cover only the
+    /// completed portion.
+    pub interrupted: bool,
 }
 
 impl TransientCampaign {
@@ -151,13 +203,63 @@ impl TransientCampaign {
     pub fn statically_pruned(&self) -> usize {
         self.runs.iter().filter(|r| r.pruned).count()
     }
+
+    /// Number of verdicts reloaded from a prior journal by `resume`.
+    pub fn resumed_runs(&self) -> usize {
+        self.runs.iter().filter(|r| r.resumed).count()
+    }
+
+    /// Number of runs that needed more than one execution attempt.
+    pub fn retried_runs(&self) -> usize {
+        self.runs.iter().filter(|r| r.attempts > 1).count()
+    }
 }
+
+/// Observation points a caller can attach to a running campaign.
+///
+/// Methods are invoked from worker threads, so implementations must be
+/// `Sync` and use interior mutability.
+pub trait CampaignHooks: Sync {
+    /// Called once per completed run, as it completes (dispatch order, not
+    /// selection order) — the durable journal's append point. Not called
+    /// for verdicts reloaded from a prior journal.
+    fn on_run(&self, run: &InjectionRun) {
+        let _ = run;
+    }
+
+    /// Polled before each site is dispatched; returning `true` stops the
+    /// campaign gracefully: in-flight runs finish (and reach
+    /// [`CampaignHooks::on_run`]), undispatched sites are dropped, and the
+    /// result is marked [`TransientCampaign::interrupted`].
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op hooks [`run_transient_campaign`] uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl CampaignHooks for NoHooks {}
 
 fn fan_out<T: Send, R: Send>(
     workers: usize,
     items: Vec<T>,
     f: impl Fn(usize, T) -> R + Sync,
 ) -> Vec<R> {
+    fan_out_until(workers, items, &|| false, f).0
+}
+
+/// Fan `items` out over `workers` threads, polling `stop` before each
+/// dispatch. Returns the completed results in item order plus whether the
+/// run was cut short. A stopped fan-out still waits for in-flight items.
+fn fan_out_until<T: Send, R: Send>(
+    workers: usize,
+    items: Vec<T>,
+    stop: &(dyn Fn() -> bool + Sync),
+    f: impl Fn(usize, T) -> R + Sync,
+) -> (Vec<R>, bool) {
+    let total = items.len();
     let todo: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let input = Mutex::new(todo.into_iter());
     let output: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
@@ -165,6 +267,9 @@ fn fan_out<T: Send, R: Send>(
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
+                if stop() {
+                    break;
+                }
                 let next = input.lock().next();
                 let Some((idx, item)) = next else { break };
                 let r = f(idx, item);
@@ -174,7 +279,39 @@ fn fan_out<T: Send, R: Send>(
     });
     let mut out = output.into_inner();
     out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+    let stopped = out.len() < total;
+    (out.into_iter().map(|(_, r)| r).collect(), stopped)
+}
+
+/// Key identifying a fault site for resume matching: exactly the parameter
+/// columns a results-log row serializes, so a reloaded row matches a
+/// reselected site iff their log lines would be identical.
+fn site_key(p: &TransientParams) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        p.group.id(),
+        p.bit_flip.id(),
+        p.kernel_name,
+        p.kernel_count,
+        p.instruction_count,
+        p.destination_register,
+        p.bit_pattern
+    )
+}
+
+/// One execution attempt's result, as seen through the isolation boundary.
+enum Attempt<R> {
+    Finished(R),
+    Panicked,
+}
+
+/// Run `f` with worker-panic isolation: a panic unwinds to here instead of
+/// taking down the fan-out scope (and with it every in-flight run).
+fn isolate<R>(f: impl FnOnce() -> R) -> Attempt<R> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Attempt::Finished(r),
+        Err(_) => Attempt::Panicked,
+    }
 }
 
 /// Run a complete transient-fault campaign on one program.
@@ -187,6 +324,34 @@ pub fn run_transient_campaign(
     program: &dyn Program,
     check: &dyn SdcCheck,
     cfg: &CampaignConfig,
+) -> Result<TransientCampaign, FiError> {
+    run_transient_campaign_with(program, check, cfg, Vec::new(), &NoHooks)
+}
+
+/// Run a transient campaign, resuming past any `prior` verdicts and
+/// reporting progress through `hooks`.
+///
+/// `prior` rows (reloaded from a crashed campaign's journal via
+/// [`crate::logfile::recover_results_log`] and [`crate::logfile::to_runs`])
+/// are matched against the freshly-selected sites by parameter equality;
+/// matched sites keep their recorded verdict (marked
+/// [`InjectionRun::resumed`]) and are not re-executed. Prior
+/// [`OutcomeClass::InfraError`] verdicts are *not* honored — the harness
+/// failed those runs, so a resume gives them a fresh chance. Because
+/// selection is seed-deterministic, resuming an interrupted campaign with
+/// its original configuration completes exactly the missing sites and
+/// reproduces the uninterrupted campaign's outcome counts.
+///
+/// # Errors
+///
+/// Returns [`FiError`] if the golden or profiling run fails, or if the
+/// selected instruction group has no dynamic instructions in the profile.
+pub fn run_transient_campaign_with(
+    program: &dyn Program,
+    check: &dyn SdcCheck,
+    cfg: &CampaignConfig,
+    prior: Vec<InjectionRun>,
+    hooks: &dyn CampaignHooks,
 ) -> Result<TransientCampaign, FiError> {
     // Step 0: golden run (also calibrates the hang monitor). With
     // checkpoints enabled it additionally records the launch-boundary
@@ -243,12 +408,46 @@ pub fn run_transient_campaign(
         .collect();
     work.sort_by_key(|&(i, _, upto, _)| (upto.unwrap_or(0), i));
 
+    // Resume: match prior verdicts to the freshly-selected sites by
+    // parameter equality (multiset semantics — duplicate selections consume
+    // one prior row each). Matched sites skip execution; prior InfraError
+    // verdicts are discarded so the harness's own failures get re-run.
+    let mut unused_prior: Vec<Option<InjectionRun>> =
+        prior.into_iter().map(|r| if r.outcome.is_infra() { None } else { Some(r) }).collect();
+    let mut reloaded: Vec<(usize, InjectionRun)> = Vec::new();
+    work.retain(|&(orig, ref params, _, _)| {
+        let key = site_key(params);
+        let hit = unused_prior
+            .iter_mut()
+            .find(|slot| slot.as_ref().is_some_and(|r| site_key(&r.params) == key));
+        match hit {
+            Some(slot) => {
+                let mut run = slot.take().expect("slot checked above");
+                run.resumed = true;
+                reloaded.push((orig, run));
+                false
+            }
+            None => true,
+        }
+    });
+
+    // The per-run deadline applies to injection runs only: the golden,
+    // profiling, and resolver runs above are campaign prerequisites, not
+    // experiments the harness may abandon.
+    let mut inj_cfg = run_cfg.clone();
+    inj_cfg.wall_deadline = cfg.run_deadline;
+
     // Steps 3-4: inject and classify, fanned out over workers sharing the
     // immutable checkpoint store. Pruned sites short-circuit: the fault
     // provably cannot propagate, so the run is synthesized as Masked.
-    let mut tagged = fan_out(
+    //
+    // Each site executes behind an isolation boundary: a worker panic or a
+    // deadline overrun costs (after `max_retries` further attempts) only
+    // that site's verdict — recorded as InfraError — never the campaign.
+    let (mut tagged, interrupted) = fan_out_until(
         cfg.workers,
         work,
+        &|| hooks.should_stop(),
         |_, (orig, params, upto, pruned): (usize, TransientParams, _, bool)| {
             if pruned {
                 let run = InjectionRun {
@@ -258,35 +457,82 @@ pub fn run_transient_campaign(
                     wall: Duration::ZERO,
                     prefix_instrs_skipped: 0,
                     pruned: true,
+                    attempts: 1,
+                    resumed: false,
                 };
+                hooks.on_run(&run);
                 return (orig, run);
             }
-            let t = Instant::now();
-            let (tool, handle) = TransientInjector::new(params.clone());
-            let out = match (&checkpoints, upto) {
-                (Some(store), Some(upto)) => run_program_fast_forward(
-                    program,
-                    run_cfg.clone(),
-                    Some(Box::new(tool)),
-                    Arc::clone(store),
-                    upto,
-                ),
-                _ => run_program(program, run_cfg.clone(), Some(Box::new(tool))),
+            let max_attempts = cfg.max_retries.saturating_add(1);
+            let mut attempts = 0u32;
+            let run = loop {
+                attempts += 1;
+                let t = Instant::now();
+                let attempt = isolate(|| {
+                    if let Some(hook) = &cfg.fault_hook {
+                        if (hook.0)(orig, attempts) {
+                            panic!("fault-hook: injected worker panic");
+                        }
+                    }
+                    let (tool, handle) = TransientInjector::new(params.clone());
+                    let out = match (&checkpoints, upto) {
+                        (Some(store), Some(upto)) => run_program_fast_forward(
+                            program,
+                            inj_cfg.clone(),
+                            Some(Box::new(tool)),
+                            Arc::clone(store),
+                            upto,
+                        ),
+                        _ => run_program(program, inj_cfg.clone(), Some(Box::new(tool))),
+                    };
+                    let outcome = classify(&golden, &out, check);
+                    (outcome, handle.get().injected, out.prefix_instrs_skipped)
+                });
+                let wall = t.elapsed();
+                match attempt {
+                    Attempt::Finished((outcome, injected, skipped))
+                        if !outcome.is_infra() || attempts >= max_attempts =>
+                    {
+                        break InjectionRun {
+                            params,
+                            outcome,
+                            injected,
+                            wall,
+                            prefix_instrs_skipped: skipped,
+                            pruned: false,
+                            attempts,
+                            resumed: false,
+                        };
+                    }
+                    Attempt::Panicked if attempts >= max_attempts => {
+                        break InjectionRun {
+                            params,
+                            outcome: Outcome {
+                                class: OutcomeClass::InfraError(InfraKind::WorkerPanic),
+                                potential_due: false,
+                            },
+                            injected: false,
+                            wall,
+                            prefix_instrs_skipped: 0,
+                            pruned: false,
+                            attempts,
+                            resumed: false,
+                        };
+                    }
+                    // Deadline overrun or panic with attempts remaining.
+                    Attempt::Finished(_) | Attempt::Panicked => {}
+                }
+                if !cfg.retry_backoff.is_zero() {
+                    std::thread::sleep(cfg.retry_backoff * attempts);
+                }
             };
-            let wall = t.elapsed();
-            let outcome = classify(&golden, &out, check);
-            let run = InjectionRun {
-                params,
-                outcome,
-                injected: handle.get().injected,
-                wall,
-                prefix_instrs_skipped: out.prefix_instrs_skipped,
-                pruned: false,
-            };
+            hooks.on_run(&run);
             (orig, run)
         },
     );
-    // fan_out preserved dispatch (grouped) order; report in selection order.
+    // fan_out preserved dispatch (grouped) order; report in selection order,
+    // with reloaded prior verdicts merged back in.
+    tagged.extend(reloaded);
     tagged.sort_by_key(|&(orig, _)| orig);
     let runs: Vec<InjectionRun> = tagged.into_iter().map(|(_, r)| r).collect();
 
@@ -308,6 +554,7 @@ pub fn run_transient_campaign(
         counts,
         runs,
         timing,
+        interrupted,
     })
 }
 
@@ -324,6 +571,13 @@ pub struct PermanentCampaignConfig {
     /// skipped, "further simplifying the campaign" (§IV-C). When `false`,
     /// all 171 opcodes run, as in the paper's Figure 3 experiment.
     pub skip_unused: bool,
+    /// Extra attempts for a panicked or deadline-killed experiment before
+    /// it is recorded as [`OutcomeClass::InfraError`].
+    pub max_retries: u32,
+    /// Pause between retry attempts, scaled by the attempt number.
+    pub retry_backoff: Duration,
+    /// Per-experiment wall-clock deadline (`None` disables it).
+    pub run_deadline: Option<Duration>,
 }
 
 impl Default for PermanentCampaignConfig {
@@ -333,6 +587,9 @@ impl Default for PermanentCampaignConfig {
             seed: 0x5EED,
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             skip_unused: true,
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(50),
+            run_deadline: None,
         }
     }
 }
@@ -351,6 +608,9 @@ pub struct PermanentRun {
     pub activations: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
+    /// Execution attempts the verdict took (`> 1` means retries after a
+    /// worker panic or deadline overrun).
+    pub attempts: u32,
 }
 
 /// Dynamic-count-weighted outcome fractions (Figure 3's y-axis).
@@ -402,6 +662,8 @@ pub fn run_permanent_campaign(
     let golden = golden_run(program, cfg.runtime.clone())?;
     let mut run_cfg = cfg.runtime.clone();
     run_cfg.instr_budget = Some(golden.suggested_budget());
+    let mut exp_cfg = run_cfg.clone();
+    exp_cfg.wall_deadline = cfg.run_deadline;
 
     let t0 = Instant::now();
     let profile = profile_program(program, run_cfg.clone(), ProfilingMode::Approximate)?;
@@ -439,21 +701,57 @@ pub fn run_permanent_campaign(
         })
         .collect();
 
+    // Same isolation contract as the transient campaign: a panicked or
+    // deadline-killed experiment is retried, then recorded as InfraError —
+    // one opcode's verdict, not the campaign, is what a runaway run costs.
     let runs = fan_out(cfg.workers, experiments, |_, (params, weight)| {
-        let t = Instant::now();
-        let (tool, handle) = PermanentInjector::new(params);
-        let out = run_program(program, run_cfg.clone(), Some(Box::new(tool)));
-        let wall = t.elapsed();
-        let outcome = classify(&golden, &out, check);
-        PermanentRun { params, outcome, weight, activations: handle.get().activations, wall }
+        let max_attempts = cfg.max_retries.saturating_add(1);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let t = Instant::now();
+            let attempt = isolate(|| {
+                let (tool, handle) = PermanentInjector::new(params);
+                let out = run_program(program, exp_cfg.clone(), Some(Box::new(tool)));
+                let outcome = classify(&golden, &out, check);
+                (outcome, handle.get().activations)
+            });
+            let wall = t.elapsed();
+            match attempt {
+                Attempt::Finished((outcome, activations))
+                    if !outcome.is_infra() || attempts >= max_attempts =>
+                {
+                    break PermanentRun { params, outcome, weight, activations, wall, attempts };
+                }
+                Attempt::Panicked if attempts >= max_attempts => {
+                    break PermanentRun {
+                        params,
+                        outcome: Outcome {
+                            class: OutcomeClass::InfraError(InfraKind::WorkerPanic),
+                            potential_due: false,
+                        },
+                        weight,
+                        activations: 0,
+                        wall,
+                        attempts,
+                    };
+                }
+                Attempt::Finished(_) | Attempt::Panicked => {}
+            }
+            if !cfg.retry_backoff.is_zero() {
+                std::thread::sleep(cfg.retry_backoff * attempts);
+            }
+        }
     });
 
     let mut counts = OutcomeCounts::default();
     let mut w = WeightedOutcomes::default();
-    let total_weight: u64 = runs.iter().map(|r| r.weight).sum();
+    // Infra errors carry no verdict: their weight leaves the denominator
+    // entirely rather than biasing any class.
+    let total_weight: u64 = runs.iter().filter(|r| !r.outcome.is_infra()).map(|r| r.weight).sum();
     for r in &runs {
         counts.add(&r.outcome);
-        if total_weight > 0 {
+        if total_weight > 0 && !r.outcome.is_infra() {
             let share = r.weight as f64 / total_weight as f64;
             if r.outcome.is_sdc() {
                 w.sdc += share;
@@ -492,6 +790,52 @@ mod tests {
     fn fan_out_single_worker() {
         let out = fan_out(1, vec![1, 2, 3], |_, x: i32| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn fan_out_until_stops_between_items_and_keeps_completed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let done = AtomicUsize::new(0);
+        // Single worker, stop after 3 completions: the 4th..10th items must
+        // never run, and the completed prefix is returned in order.
+        let (out, stopped) = fan_out_until(
+            1,
+            (0..10).collect(),
+            &|| done.load(Ordering::SeqCst) >= 3,
+            |_, x: i32| {
+                done.fetch_add(1, Ordering::SeqCst);
+                x * 10
+            },
+        );
+        assert_eq!(out, vec![0, 10, 20]);
+        assert!(stopped);
+
+        let (out, stopped) = fan_out_until(2, (0..5).collect(), &|| false, |_, x: i32| x);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(!stopped);
+    }
+
+    #[test]
+    fn isolate_catches_panics() {
+        assert!(matches!(isolate(|| 7), Attempt::Finished(7)));
+        assert!(matches!(isolate(|| -> i32 { panic!("boom") }), Attempt::Panicked));
+    }
+
+    #[test]
+    fn site_key_distinguishes_every_field() {
+        let base = TransientParams {
+            group: InstrGroup::Gp,
+            bit_flip: BitFlipModel::FlipSingleBit,
+            kernel_name: "k".into(),
+            kernel_count: 1,
+            instruction_count: 2,
+            destination_register: 0.25,
+            bit_pattern: 0.5,
+        };
+        let mut other = base.clone();
+        other.instruction_count = 3;
+        assert_eq!(site_key(&base), site_key(&base.clone()));
+        assert_ne!(site_key(&base), site_key(&other));
     }
 
     #[test]

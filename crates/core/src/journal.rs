@@ -1,0 +1,171 @@
+//! Durable campaign artifacts: the append-only results journal and atomic
+//! whole-file writes.
+//!
+//! A campaign that only writes its results log at the end loses every
+//! classified run when the process dies — for long campaigns (the paper's
+//! span hundreds of thousands of injections) that is hours of work. The
+//! [`Journal`] instead appends one newline-terminated row per run and
+//! flushes it to the OS immediately, so after a crash the log contains every
+//! completed run plus at most one torn final line (which
+//! [`crate::logfile::recover_results_log`] drops on resume).
+//!
+//! Whole-file artifacts that are rewritten — injection lists, profiles,
+//! reports — go through [`atomic_write`], which stages the content in a
+//! temporary file in the destination directory and renames it into place, so
+//! a reader (or a crash) never observes a half-written file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only, flush-per-record results journal.
+///
+/// Each [`Journal::append`] performs a single `write` of one complete,
+/// newline-terminated record followed by a flush, which is what makes the
+/// torn-tail recovery contract hold: a record either ends with `\n` (it is
+/// complete) or it is the final, partial line of a crashed campaign.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Create (or truncate) the journal at `path` and write `header`,
+    /// flushed, before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn create(path: impl AsRef<Path>, header: &str) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let mut journal = Journal { file, path };
+        journal.write_flush(header)?;
+        Ok(journal)
+    }
+
+    /// Open an existing journal for appending (the resume path). The caller
+    /// is responsible for having truncated any torn tail first — appending
+    /// after a partial line would corrupt the next record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening the file.
+    pub fn append_to(path: impl AsRef<Path>) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Journal { file, path })
+    }
+
+    /// Append one record and flush it to the OS before returning.
+    ///
+    /// `record` must be newline-terminated (and contain no interior torn
+    /// state the reader could misparse); [`crate::logfile::results_log_row`]
+    /// produces conforming records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; on error the journal may hold a torn tail,
+    /// which recovery handles like a crash.
+    pub fn append(&mut self, record: &str) -> io::Result<()> {
+        debug_assert!(record.ends_with('\n'), "journal records must be newline-terminated");
+        self.write_flush(record)
+    }
+
+    /// The journal's path (for resume hints in user-facing messages).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_flush(&mut self, text: &str) -> io::Result<()> {
+        self.file.write_all(text.as_bytes())?;
+        self.file.flush()
+    }
+}
+
+/// Write `contents` to `path` atomically: stage in a uniquely-named
+/// temporary file in the same directory, then rename over the destination.
+/// Readers see either the old file or the new one, never a prefix.
+///
+/// # Errors
+///
+/// Propagates I/O errors; the temporary file is removed on failure.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let path = path.as_ref();
+    let contents = contents.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("not a file path: {}", path.display()))
+    })?;
+    // Process-unique staging name: two nvbitfi processes writing the same
+    // artifact race at the rename (last writer wins), never at the bytes.
+    let tmp = dir.join(format!(".{}.tmp.{}", name.to_string_lossy(), std::process::id()));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.flush()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nvbitfi-journal-test-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        dir
+    }
+
+    #[test]
+    fn journal_appends_are_immediately_visible() {
+        let dir = tmp_dir("append");
+        let path = dir.join("results.log");
+        let mut j = Journal::create(&path, "# header\n").expect("create");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "# header\n");
+        j.append("row 1\n").expect("append");
+        j.append("row 2\n").expect("append");
+        // Visible without dropping the journal: each append was flushed.
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "# header\nrow 1\nrow 2\n");
+        drop(j);
+
+        let mut j = Journal::append_to(&path).expect("reopen");
+        j.append("row 3\n").expect("append");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "# header\nrow 1\nrow 2\nrow 3\n"
+        );
+        assert_eq!(j.path(), path.as_path());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("artifact.txt");
+        atomic_write(&path, "first\n").expect("write");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "first\n");
+        atomic_write(&path, "second\n").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "second\n");
+        // No staging files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "staging file leaked: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_rejects_directory_path() {
+        assert!(atomic_write(Path::new("/"), "x").is_err());
+    }
+}

@@ -90,6 +90,7 @@ mod error;
 pub mod ext;
 mod golden;
 mod igid;
+pub mod journal;
 pub mod logfile;
 pub mod multi;
 pub mod outcome;
@@ -105,16 +106,18 @@ pub mod transient;
 pub use avf::{AvfEstimate, GroupAvf};
 pub use bitflip::BitFlipModel;
 pub use campaign::{
-    run_permanent_campaign, run_transient_campaign, CampaignConfig, CampaignTiming, InjectionRun,
-    PermanentCampaign, PermanentCampaignConfig, PermanentRun, TransientCampaign, WeightedOutcomes,
+    run_permanent_campaign, run_transient_campaign, run_transient_campaign_with, CampaignConfig,
+    CampaignHooks, CampaignTiming, FaultHook, InjectionRun, NoHooks, PermanentCampaign,
+    PermanentCampaignConfig, PermanentRun, TransientCampaign, WeightedOutcomes,
 };
 pub use error::FiError;
 pub use golden::{golden_run, golden_run_recording, GoldenOutput};
 pub use igid::InstrGroup;
+pub use journal::{atomic_write, Journal};
 pub use multi::{earliest_target_launch, MultiHandle, MultiRecord, MultiTransientInjector};
 pub use outcome::{
-    classify, DueKind, ExactDiff, Outcome, OutcomeClass, OutcomeCounts, SdcCheck, SdcReason,
-    SdcVerdict,
+    classify, DueKind, ExactDiff, InfraKind, Outcome, OutcomeClass, OutcomeCounts, SdcCheck,
+    SdcReason, SdcVerdict,
 };
 pub use params::{PermanentParams, TransientParams};
 pub use permanent::{PermanentHandle, PermanentInjector, PermanentRecord};

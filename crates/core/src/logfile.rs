@@ -11,8 +11,9 @@ use crate::bitflip::BitFlipModel;
 use crate::campaign::{InjectionRun, TransientCampaign};
 use crate::error::FiError;
 use crate::igid::InstrGroup;
-use crate::outcome::{DueKind, Outcome, OutcomeClass, OutcomeCounts, SdcReason};
+use crate::outcome::{DueKind, InfraKind, Outcome, OutcomeClass, OutcomeCounts, SdcReason};
 use crate::params::TransientParams;
+use std::collections::BTreeMap;
 
 /// Serialize an injection list: a header plus one fault per line.
 pub fn write_injection_list(sites: &[TransientParams]) -> String {
@@ -97,6 +98,8 @@ fn outcome_code(o: &Outcome) -> String {
         OutcomeClass::Due(DueKind::Timeout) => "DUE:timeout".to_string(),
         OutcomeClass::Due(DueKind::Crash) => "DUE:crash".to_string(),
         OutcomeClass::Due(DueKind::NonZeroExit) => "DUE:exit".to_string(),
+        OutcomeClass::InfraError(InfraKind::WorkerPanic) => "INFRA:panic".to_string(),
+        OutcomeClass::InfraError(InfraKind::Deadline) => "INFRA:deadline".to_string(),
     };
     if o.potential_due {
         format!("{base}+pdue")
@@ -119,6 +122,8 @@ fn parse_outcome(code: &str) -> Option<Outcome> {
         "DUE:timeout" => OutcomeClass::Due(DueKind::Timeout),
         "DUE:crash" => OutcomeClass::Due(DueKind::Crash),
         "DUE:exit" => OutcomeClass::Due(DueKind::NonZeroExit),
+        "INFRA:panic" => OutcomeClass::InfraError(InfraKind::WorkerPanic),
+        "INFRA:deadline" => OutcomeClass::InfraError(InfraKind::Deadline),
         _ => return None,
     };
     Some(Outcome { class, potential_due })
@@ -142,35 +147,97 @@ pub struct LogRow {
     /// Whether the outcome came from static dead-fault pruning rather
     /// than simulation (`false` in v1/v2 logs, which predate the column).
     pub pruned: bool,
+    /// Execution attempts this verdict took, counting retries after worker
+    /// panics or deadline overruns (`1` in v1–v3 logs, which predate the
+    /// column).
+    pub attempts: u32,
+}
+
+/// Parsed results-log header: the program name and any `# meta key=value`
+/// lines recorded when the log was started.
+///
+/// Meta lines carry the campaign configuration a `resume` needs to rebuild
+/// the identical (seed-deterministic) injection selection; the core reader
+/// treats keys as opaque.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHeader {
+    /// `program=` from the version line, if present.
+    pub program: Option<String>,
+    /// `key=value` pairs from `# meta` lines, in first-seen order per key.
+    pub meta: BTreeMap<String, String>,
+}
+
+/// Parse the comment header of a results log (version line and `# meta`
+/// lines). Data rows are ignored; unknown comment lines are skipped.
+pub fn parse_log_header(text: &str) -> LogHeader {
+    let mut header = LogHeader::default();
+    for line in text.lines() {
+        let Some(comment) = line.strip_prefix('#') else { continue };
+        let comment = comment.trim();
+        if let Some(rest) = comment.strip_prefix("nvbitfi results log ") {
+            if let Some(program) = rest.split_whitespace().find_map(|w| w.strip_prefix("program="))
+            {
+                header.program = Some(program.to_string());
+            }
+        } else if let Some(pair) = comment.strip_prefix("meta ") {
+            if let Some((k, v)) = pair.split_once('=') {
+                header.meta.entry(k.trim().to_string()).or_insert_with(|| v.trim().to_string());
+            }
+        }
+    }
+    header
+}
+
+/// The results-log header: version line, one `# meta key=value` line per
+/// pair, and the column-name comment. This is what a journaling campaign
+/// writes before its first row; [`write_results_log`] uses it with empty
+/// meta.
+///
+/// Keys and values must not contain newlines (they are written verbatim).
+pub fn results_log_header(program: &str, meta: &[(&str, String)]) -> String {
+    let mut out = format!("# nvbitfi results log v4 program={program}\n");
+    for (k, v) in meta {
+        out.push_str(&format!("# meta {k}={v}\n"));
+    }
+    out.push_str(
+        "# igid\tbfm\tkernel\tkcount\ticount\tdreg\tbitpat\tfired\toutcome\twall_us\tskip_instrs\tpruned\tattempts\n",
+    );
+    out
+}
+
+/// One newline-terminated v4 results row — the unit a durable journal
+/// appends and flushes as each run completes.
+pub fn results_log_row(run: &InjectionRun) -> String {
+    let p = &run.params;
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        p.group.id(),
+        p.bit_flip.id(),
+        p.kernel_name,
+        p.kernel_count,
+        p.instruction_count,
+        p.destination_register,
+        p.bit_pattern,
+        if run.injected { 1 } else { 0 },
+        outcome_code(&run.outcome),
+        run.wall.as_micros(),
+        run.prefix_instrs_skipped,
+        if run.pruned { "static" } else { "-" },
+        run.attempts
+    )
 }
 
 /// Serialize a campaign's per-run results, one line per injection. The v2
-/// format appends a `skip_instrs` column (dynamic instructions skipped by
-/// checkpoint fast-forward); v3 appends a `pruned` column (`static` for
-/// statically-pruned sites, `-` for simulated runs). The reader still
-/// accepts v1 and v2 rows.
+/// format appended a `skip_instrs` column (dynamic instructions skipped by
+/// checkpoint fast-forward); v3 appended a `pruned` column (`static` for
+/// statically-pruned sites, `-` for simulated runs); v4 appends an
+/// `attempts` column (executions the verdict took, counting retries) and
+/// admits `# meta key=value` header lines. The reader still accepts v1–v3
+/// rows.
 pub fn write_results_log(c: &TransientCampaign) -> String {
-    let mut out = format!(
-        "# nvbitfi results log v3 program={}\n# igid\tbfm\tkernel\tkcount\ticount\tdreg\tbitpat\tfired\toutcome\twall_us\tskip_instrs\tpruned\n",
-        c.program
-    );
+    let mut out = results_log_header(&c.program, &[]);
     for run in &c.runs {
-        let p = &run.params;
-        out.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-            p.group.id(),
-            p.bit_flip.id(),
-            p.kernel_name,
-            p.kernel_count,
-            p.instruction_count,
-            p.destination_register,
-            p.bit_pattern,
-            if run.injected { 1 } else { 0 },
-            outcome_code(&run.outcome),
-            run.wall.as_micros(),
-            run.prefix_instrs_skipped,
-            if run.pruned { "static" } else { "-" }
-        ));
+        out.push_str(&results_log_row(run));
     }
     out
 }
@@ -189,8 +256,8 @@ pub fn read_results_log(text: &str) -> Result<Vec<LogRow>, FiError> {
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
-        if !(10..=12).contains(&fields.len()) {
-            return Err(bad(lineno, format!("expected 10 to 12 fields, got {}", fields.len())));
+        if !(10..=13).contains(&fields.len()) {
+            return Err(bad(lineno, format!("expected 10 to 13 fields, got {}", fields.len())));
         }
         let head = fields[..7].join("\t");
         let params = read_injection_list(&head)
@@ -218,9 +285,48 @@ pub fn read_results_log(text: &str) -> Result<Vec<LogRow>, FiError> {
             Some(other) => return Err(bad(lineno, format!("bad pruned flag `{other}`"))),
             None => false, // v1/v2 row
         };
-        rows.push(LogRow { params, outcome, injected, wall_us, prefix_instrs_skipped, pruned });
+        let attempts = match fields.get(12) {
+            Some(s) => {
+                let n = s.parse::<u32>().map_err(|e| bad(lineno, format!("bad attempts: {e}")))?;
+                if n == 0 {
+                    return Err(bad(lineno, "attempts must be >= 1".into()));
+                }
+                n
+            }
+            None => 1, // v1-v3 row
+        };
+        rows.push(LogRow {
+            params,
+            outcome,
+            injected,
+            wall_us,
+            prefix_instrs_skipped,
+            pruned,
+            attempts,
+        });
     }
     Ok(rows)
+}
+
+/// Parse a possibly crash-truncated results log, tolerating a torn final
+/// line.
+///
+/// A journaling campaign appends each row as one newline-terminated write,
+/// so only the *last* line of a crashed campaign's log can be incomplete —
+/// recognizable by the missing terminator. The torn tail is dropped (its run
+/// simply re-executes on resume) and reported via the second return value.
+///
+/// # Errors
+///
+/// Returns [`FiError::BadParamFile`] for malformed *complete* lines — those
+/// indicate real corruption, not a crash mid-append.
+pub fn recover_results_log(text: &str) -> Result<(Vec<LogRow>, bool), FiError> {
+    let (intact, torn) = match text.rfind('\n') {
+        _ if text.is_empty() || text.ends_with('\n') => (text, false),
+        Some(last) => (&text[..=last], true),
+        None => ("", true),
+    };
+    Ok((read_results_log(intact)?, torn))
 }
 
 /// Re-aggregate outcome counts from parsed log rows (the gather step of a
@@ -244,6 +350,8 @@ pub fn to_runs(rows: Vec<LogRow>) -> Vec<InjectionRun> {
             wall: std::time::Duration::from_micros(r.wall_us),
             prefix_instrs_skipped: r.prefix_instrs_skipped,
             pruned: r.pruned,
+            attempts: r.attempts,
+            resumed: false,
         })
         .collect()
 }
@@ -298,6 +406,11 @@ mod tests {
             Outcome { class: OutcomeClass::Due(DueKind::Timeout), potential_due: false },
             Outcome { class: OutcomeClass::Due(DueKind::Crash), potential_due: false },
             Outcome { class: OutcomeClass::Due(DueKind::NonZeroExit), potential_due: false },
+            Outcome {
+                class: OutcomeClass::InfraError(InfraKind::WorkerPanic),
+                potential_due: false,
+            },
+            Outcome { class: OutcomeClass::InfraError(InfraKind::Deadline), potential_due: false },
         ];
         for o in outcomes {
             let code = outcome_code(&o);
@@ -330,6 +443,8 @@ mod tests {
                 wall: std::time::Duration::from_micros(1000 + i),
                 prefix_instrs_skipped: i * 1000,
                 pruned: i == 4,
+                attempts: 1 + (i % 3) as u32,
+                resumed: false,
             })
             .collect();
         let campaign = TransientCampaign {
@@ -352,9 +467,10 @@ mod tests {
             },
             runs,
             timing: Default::default(),
+            interrupted: false,
         };
         let text = write_results_log(&campaign);
-        assert!(text.starts_with("# nvbitfi results log v3 program=test.prog"));
+        assert!(text.starts_with("# nvbitfi results log v4 program=test.prog"));
         let rows = read_results_log(&text).expect("parse");
         assert_eq!(rows.len(), 10);
         assert_eq!(tally(&rows), campaign.counts);
@@ -365,7 +481,70 @@ mod tests {
             assert_eq!(a.wall, b.wall);
             assert_eq!(a.prefix_instrs_skipped, b.prefix_instrs_skipped);
             assert_eq!(a.pruned, b.pruned);
+            assert_eq!(a.attempts, b.attempts);
         }
+    }
+
+    #[test]
+    fn results_log_accepts_v3_rows_without_attempts_column() {
+        let header = "# nvbitfi results log v3 program=x\n";
+        let rows =
+            read_results_log(&format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED\t5\t42\t-"))
+                .expect("v3 row parses");
+        assert_eq!(rows[0].attempts, 1);
+        let v4 = format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tINFRA:panic\t5\t42\t-\t3");
+        let rows = read_results_log(&v4).expect("v4 row parses");
+        assert_eq!(rows[0].attempts, 3);
+        assert!(rows[0].outcome.is_infra());
+        let zero = format!("{header}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED\t5\t42\t-\t0");
+        assert!(read_results_log(&zero).is_err());
+    }
+
+    #[test]
+    fn header_meta_roundtrips() {
+        let header = results_log_header(
+            "p.x",
+            &[("seed", "42".to_string()), ("injections", "100".to_string())],
+        );
+        let parsed = parse_log_header(&header);
+        assert_eq!(parsed.program.as_deref(), Some("p.x"));
+        assert_eq!(parsed.meta.get("seed").map(String::as_str), Some("42"));
+        assert_eq!(parsed.meta.get("injections").map(String::as_str), Some("100"));
+        // Headers without meta lines parse to an empty map; data rows and
+        // unknown comments are ignored.
+        let plain = format!(
+            "{}1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED\t5\n# random note\n",
+            results_log_header("q", &[])
+        );
+        let parsed = parse_log_header(&plain);
+        assert_eq!(parsed.program.as_deref(), Some("q"));
+        assert!(parsed.meta.is_empty());
+    }
+
+    #[test]
+    fn recovery_drops_torn_final_line_only() {
+        let mut text = results_log_header("p", &[]);
+        text.push_str("1\t1\tk\t0\t0\t0.1\t0.1\t1\tMASKED\t5\t0\t-\t1\n");
+        text.push_str("1\t1\tk\t0\t1\t0.1\t0.1\t1\tSDC:stdout\t6\t0\t-\t1\n");
+
+        let (rows, torn) = recover_results_log(&text).expect("clean log");
+        assert_eq!(rows.len(), 2);
+        assert!(!torn);
+
+        // A crash mid-append leaves an unterminated fragment: dropped.
+        let torn_text = format!("{text}1\t1\tk\t0\t2\t0.1\t0.1\t1\tMAS");
+        let (rows, torn) = recover_results_log(&torn_text).expect("torn log");
+        assert_eq!(rows.len(), 2);
+        assert!(torn);
+
+        // Header-only fragment (crash before the first complete row).
+        let (rows, torn) = recover_results_log("# nvbitfi results").expect("fragment");
+        assert!(rows.is_empty());
+        assert!(torn);
+
+        // A malformed *complete* line is corruption, not a torn tail.
+        let corrupt = format!("{text}1\tgarbage\n");
+        assert!(recover_results_log(&corrupt).is_err());
     }
 
     #[test]

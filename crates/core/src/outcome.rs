@@ -12,7 +12,13 @@
 //! * **potential DUE** — an SDC or Masked outcome where the device latched
 //!   an anomaly (a non-fatal CUDA error / dmesg entry) the host never acted
 //!   on. As in §IV-A, headline numbers fold potential DUEs into SDC/Masked;
-//!   the flag is reported separately.
+//!   the flag is reported separately,
+//! * **infrastructure error** — the *harness* failed the run (a worker
+//!   panicked, or the run outlived its wall-clock deadline), so no verdict
+//!   about the fault's effect exists. Infrastructure errors are recorded —
+//!   they must survive a resume so the site is not silently dropped — but
+//!   they are excluded from SDC/DUE/Masked rate denominators
+//!   ([`OutcomeCounts::classified`]).
 
 use crate::golden::GoldenOutput;
 use gpu_runtime::{ProgramOutput, Termination};
@@ -61,6 +67,25 @@ impl fmt::Display for DueKind {
     }
 }
 
+/// Why the harness — not the program — failed an injection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InfraKind {
+    /// The injection worker panicked while driving the run.
+    WorkerPanic,
+    /// The run outlived its wall-clock deadline and was killed
+    /// ([`gpu_runtime::RuntimeConfig::wall_deadline`]).
+    Deadline,
+}
+
+impl fmt::Display for InfraKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfraKind::WorkerPanic => write!(f, "worker panic"),
+            InfraKind::Deadline => write!(f, "wall-clock deadline exceeded"),
+        }
+    }
+}
+
 /// The top-level outcome class.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OutcomeClass {
@@ -70,6 +95,9 @@ pub enum OutcomeClass {
     Sdc(Vec<SdcReason>),
     /// Detected, unrecoverable error.
     Due(DueKind),
+    /// The harness failed the run after exhausting retries; no verdict about
+    /// the fault exists. Never folded into the DUE taxonomy.
+    InfraError(InfraKind),
 }
 
 /// A classified run.
@@ -96,6 +124,11 @@ impl Outcome {
     pub fn is_due(&self) -> bool {
         matches!(self.class, OutcomeClass::Due(_))
     }
+
+    /// `true` for an infrastructure-error outcome.
+    pub fn is_infra(&self) -> bool {
+        matches!(self.class, OutcomeClass::InfraError(_))
+    }
 }
 
 impl fmt::Display for Outcome {
@@ -109,6 +142,7 @@ impl fmt::Display for Outcome {
                 }
             }
             OutcomeClass::Due(kind) => write!(f, "DUE ({kind})")?,
+            OutcomeClass::InfraError(kind) => write!(f, "InfraError ({kind})")?,
         }
         if self.potential_due {
             write!(f, " [potential DUE]")?;
@@ -170,6 +204,9 @@ pub fn classify(golden: &GoldenOutput, run: &ProgramOutput, check: &dyn SdcCheck
     let class = match &run.termination {
         Termination::Hang => OutcomeClass::Due(DueKind::Timeout),
         Termination::Crash => OutcomeClass::Due(DueKind::Crash),
+        // The harness gave up, the program didn't fail: without the run's
+        // natural ending there is no Table V verdict to assign.
+        Termination::DeadlineExceeded => OutcomeClass::InfraError(InfraKind::Deadline),
         Termination::Normal { exit_code } if *exit_code != 0 => {
             OutcomeClass::Due(DueKind::NonZeroExit)
         }
@@ -178,7 +215,8 @@ pub fn classify(golden: &GoldenOutput, run: &ProgramOutput, check: &dyn SdcCheck
             SdcVerdict::Fail(reasons) => OutcomeClass::Sdc(reasons),
         },
     };
-    let potential_due = !matches!(class, OutcomeClass::Due(_)) && run.has_anomaly();
+    let potential_due =
+        matches!(class, OutcomeClass::Masked | OutcomeClass::Sdc(_)) && run.has_anomaly();
     Outcome { class, potential_due }
 }
 
@@ -197,6 +235,11 @@ pub struct OutcomeCounts {
     pub due_nonzero: u64,
     /// SDC/Masked runs flagged as potential DUEs.
     pub potential_due: u64,
+    /// Runs the harness failed (worker panic, deadline) after retries.
+    /// Counted in [`OutcomeCounts::total`] but excluded from
+    /// [`OutcomeCounts::classified`] and every rate denominator.
+    #[serde(default)]
+    pub infra: u64,
 }
 
 impl OutcomeCounts {
@@ -208,6 +251,7 @@ impl OutcomeCounts {
             OutcomeClass::Due(DueKind::Timeout) => self.due_timeout += 1,
             OutcomeClass::Due(DueKind::Crash) => self.due_crash += 1,
             OutcomeClass::Due(DueKind::NonZeroExit) => self.due_nonzero += 1,
+            OutcomeClass::InfraError(_) => self.infra += 1,
         }
         if o.potential_due {
             self.potential_due += 1;
@@ -219,14 +263,21 @@ impl OutcomeCounts {
         self.due_timeout + self.due_crash + self.due_nonzero
     }
 
-    /// Total classified runs.
+    /// Total recorded runs, including infrastructure errors.
     pub fn total(&self) -> u64 {
+        self.classified() + self.infra
+    }
+
+    /// Runs with a real Table V verdict — the denominator for every
+    /// SDC/DUE/Masked rate. Infrastructure errors carry no verdict and would
+    /// bias the rates toward zero if counted.
+    pub fn classified(&self) -> u64 {
         self.masked + self.sdc + self.due()
     }
 
-    /// `(sdc, due, masked)` fractions of the total.
+    /// `(sdc, due, masked)` fractions of the classified runs.
     pub fn fractions(&self) -> (f64, f64, f64) {
-        let t = self.total() as f64;
+        let t = self.classified() as f64;
         if t == 0.0 {
             return (0.0, 0.0, 0.0);
         }
@@ -241,6 +292,7 @@ impl OutcomeCounts {
         self.due_crash += other.due_crash;
         self.due_nonzero += other.due_nonzero;
         self.potential_due += other.potential_due;
+        self.infra += other.infra;
     }
 }
 
@@ -249,13 +301,17 @@ impl fmt::Display for OutcomeCounts {
         let (sdc, due, masked) = self.fractions();
         write!(
             f,
-            "SDC {:.1}%, DUE {:.1}%, Masked {:.1}% ({} runs, {} potential DUEs)",
+            "SDC {:.1}%, DUE {:.1}%, Masked {:.1}% ({} classified runs, {} potential DUEs",
             sdc * 100.0,
             due * 100.0,
             masked * 100.0,
-            self.total(),
+            self.classified(),
             self.potential_due
-        )
+        )?;
+        if self.infra > 0 {
+            write!(f, ", {} infra errors excluded", self.infra)?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -352,6 +408,50 @@ mod tests {
         let o = classify(&golden(), &r, &ExactDiff);
         assert!(o.is_due());
         assert!(!o.potential_due);
+    }
+
+    #[test]
+    fn deadline_classifies_as_infra_error_not_due() {
+        let o = classify(&golden(), &run("hello\n", Termination::DeadlineExceeded), &ExactDiff);
+        assert_eq!(o.class, OutcomeClass::InfraError(InfraKind::Deadline));
+        assert!(o.is_infra());
+        assert!(!o.is_due());
+        assert!(o.to_string().contains("InfraError"));
+
+        // Even with a latched anomaly, an infra error is not a potential
+        // DUE — the run never reached a verdict the flag could qualify.
+        let mut r = run("hello\n", Termination::DeadlineExceeded);
+        r.anomalies.push(anomaly());
+        let o = classify(&golden(), &r, &ExactDiff);
+        assert!(o.is_infra());
+        assert!(!o.potential_due);
+    }
+
+    #[test]
+    fn infra_errors_excluded_from_rate_denominators() {
+        let mut c = OutcomeCounts::default();
+        c.add(&Outcome { class: OutcomeClass::Masked, potential_due: false });
+        c.add(&Outcome { class: OutcomeClass::Sdc(vec![SdcReason::Stdout]), potential_due: false });
+        c.add(&Outcome {
+            class: OutcomeClass::InfraError(InfraKind::WorkerPanic),
+            potential_due: false,
+        });
+        c.add(&Outcome {
+            class: OutcomeClass::InfraError(InfraKind::Deadline),
+            potential_due: false,
+        });
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.classified(), 2);
+        assert_eq!(c.infra, 2);
+        let (sdc, due, masked) = c.fractions();
+        assert_eq!(sdc, 0.5, "denominator is classified runs, not total");
+        assert_eq!(due, 0.0);
+        assert_eq!(masked, 0.5);
+        assert!(c.to_string().contains("2 infra errors excluded"));
+
+        let mut d = OutcomeCounts::default();
+        d.merge(&c);
+        assert_eq!(d.infra, 2);
     }
 
     #[test]

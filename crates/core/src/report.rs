@@ -56,13 +56,14 @@ pub fn outcome_cells(c: &OutcomeCounts) -> Vec<String> {
 }
 
 /// One-paragraph summary of a transient campaign, followed by the
-/// per-phase wall-clock breakdown from [`phase_breakdown`].
+/// robustness line from [`robustness_line`] and the per-phase wall-clock
+/// breakdown from [`phase_breakdown`].
 pub fn transient_summary(c: &TransientCampaign) -> String {
     let injected = c.runs.iter().filter(|r| r.injected).count();
     format!(
         "{}: {} over {} injections ({} fired, {} statically pruned); profile: {} dynamic \
          kernels, {} dynamic instructions ({} profiling); median injection run {:?}, \
-         campaign total {:?}\n{}",
+         campaign total {:?}\n{}\n{}",
         c.program,
         c.counts,
         c.runs.len(),
@@ -73,8 +74,28 @@ pub fn transient_summary(c: &TransientCampaign) -> String {
         c.profile.mode,
         c.timing.median_injection(),
         c.timing.total(),
+        robustness_line(c),
         phase_breakdown(&c.timing),
     )
+}
+
+/// One-line robustness accounting for a campaign: how many verdicts were
+/// executed fresh vs reloaded by `resume`, how many runs needed retries,
+/// how many ended as infrastructure errors, and whether the campaign was
+/// interrupted before covering every selected site.
+pub fn robustness_line(c: &TransientCampaign) -> String {
+    let resumed = c.resumed_runs();
+    let mut line = format!(
+        "robustness: {} fresh, {} resumed, {} retried, {} infra errors",
+        c.runs.len() - resumed,
+        resumed,
+        c.retried_runs(),
+        c.counts.infra,
+    );
+    if c.interrupted {
+        line.push_str(" — INTERRUPTED (partial results)");
+    }
+    line
 }
 
 /// Per-phase wall-clock table for a campaign (golden / profiling / static
@@ -134,6 +155,69 @@ mod tests {
     #[test]
     fn empty_table() {
         assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn robustness_line_counts_resume_retry_and_infra() {
+        use crate::campaign::{InjectionRun, TransientCampaign};
+        use crate::outcome::{InfraKind, Outcome, OutcomeClass, OutcomeCounts};
+        let run = |resumed: bool, attempts: u32, infra: bool| InjectionRun {
+            params: crate::params::TransientParams {
+                group: crate::igid::InstrGroup::Gp,
+                bit_flip: crate::bitflip::BitFlipModel::FlipSingleBit,
+                kernel_name: "k".into(),
+                kernel_count: 0,
+                instruction_count: 0,
+                destination_register: 0.1,
+                bit_pattern: 0.1,
+            },
+            outcome: if infra {
+                Outcome {
+                    class: OutcomeClass::InfraError(InfraKind::WorkerPanic),
+                    potential_due: false,
+                }
+            } else {
+                Outcome { class: OutcomeClass::Masked, potential_due: false }
+            },
+            injected: !infra,
+            wall: std::time::Duration::ZERO,
+            prefix_instrs_skipped: 0,
+            pruned: false,
+            attempts,
+            resumed,
+        };
+        let runs = vec![run(false, 1, false), run(true, 1, false), run(false, 3, true)];
+        let mut counts = OutcomeCounts::default();
+        for r in &runs {
+            counts.add(&r.outcome);
+        }
+        let c = TransientCampaign {
+            program: "p".into(),
+            profile: crate::profile::Profile {
+                mode: crate::profile::ProfilingMode::Exact,
+                kernels: vec![],
+            },
+            golden: crate::golden::GoldenOutput {
+                stdout: String::new(),
+                files: Default::default(),
+                summary: Default::default(),
+            },
+            counts,
+            runs,
+            timing: Default::default(),
+            interrupted: false,
+        };
+        let line = robustness_line(&c);
+        assert!(line.contains("2 fresh"), "{line}");
+        assert!(line.contains("1 resumed"), "{line}");
+        assert!(line.contains("1 retried"), "{line}");
+        assert!(line.contains("1 infra errors"), "{line}");
+        assert!(!line.contains("INTERRUPTED"), "{line}");
+
+        let mut c = c;
+        c.interrupted = true;
+        assert!(robustness_line(&c).contains("INTERRUPTED"));
+        assert!(transient_summary(&c).contains("robustness:"));
     }
 
     #[test]

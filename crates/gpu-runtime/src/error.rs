@@ -43,6 +43,11 @@ pub enum RuntimeError {
     /// The kernel hung: the external monitor (instruction budget) killed it.
     /// Unlike memory faults this is always fatal to the run.
     Hang(TrapInfo),
+    /// The run outlived the harness's wall-clock deadline
+    /// ([`crate::RuntimeConfig::wall_deadline`]) and was killed. Always
+    /// fatal, and classified as campaign infrastructure failure — never a
+    /// DUE.
+    Deadline(TrapInfo),
     /// A checked API observed the sticky device fault.
     Sticky(KernelFault),
     /// The application chose to abort the process on a device fault
@@ -59,6 +64,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Mem(e) => write!(f, "device memory error: {e}"),
             RuntimeError::LaunchConfig(msg) => write!(f, "invalid launch: {msg}"),
             RuntimeError::Hang(info) => write!(f, "kernel hang detected by monitor: {info}"),
+            RuntimeError::Deadline(info) => {
+                write!(f, "run killed at wall-clock deadline: {info}")
+            }
             RuntimeError::Sticky(fault) => write!(f, "{fault}"),
             RuntimeError::DeviceAbort(fault) => {
                 write!(f, "process aborted on device fault: {fault}")

@@ -199,6 +199,44 @@ mod tests {
     }
 
     #[test]
+    fn deadline_kills_run_without_anomaly() {
+        struct Spin;
+        impl Program for Spin {
+            fn name(&self) -> &str {
+                "spin"
+            }
+            fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+                let m = rt.load_module(&test_module_bytes())?;
+                let spin = rt.get_kernel(m, "spin")?;
+                rt.launch(spin, 1u32, 32u32, &[])?;
+                Ok(())
+            }
+        }
+        // Budget high enough that the hang monitor never fires; the
+        // wall-clock deadline must kill the run instead.
+        let cfg = RuntimeConfig {
+            mem_bytes: 1 << 20,
+            instr_budget: Some(u64::MAX),
+            wall_deadline: Some(std::time::Duration::from_millis(20)),
+            ..Default::default()
+        };
+        let out = run_program(&Spin, cfg, None);
+        assert_eq!(out.termination, Termination::DeadlineExceeded);
+        assert!(!out.has_anomaly(), "deadline is a harness verdict, not a device anomaly");
+
+        // An already-expired deadline trips at launch entry, before any
+        // instruction executes.
+        let cfg = RuntimeConfig {
+            mem_bytes: 1 << 20,
+            wall_deadline: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let out = run_program(&Spin, cfg, None);
+        assert_eq!(out.termination, Termination::DeadlineExceeded);
+        assert_eq!(out.summary.dyn_instrs, 0);
+    }
+
+    #[test]
     fn hanging_program_terminates_as_hang() {
         struct Spin;
         impl Program for Spin {

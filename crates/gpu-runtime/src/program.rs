@@ -22,6 +22,11 @@ pub enum Termination {
     /// The process aborted (OS-detected crash), e.g. an abort-on-error host
     /// observing a device fault.
     Crash,
+    /// The harness killed the process at its wall-clock deadline
+    /// ([`crate::RuntimeConfig::wall_deadline`]). An infrastructure verdict
+    /// about the experiment run, not an observation about the program —
+    /// outcome classification must not fold it into the DUE taxonomy.
+    DeadlineExceeded,
 }
 
 impl Termination {
@@ -137,6 +142,7 @@ fn drive(
     let termination = match &result {
         Ok(()) => Termination::Normal { exit_code: 0 },
         Err(RuntimeError::Hang(_)) => Termination::Hang,
+        Err(RuntimeError::Deadline(_)) => Termination::DeadlineExceeded,
         Err(RuntimeError::DeviceAbort(_)) => Termination::Crash,
         Err(e) => {
             rt.println(format!("error: {e}"));

@@ -20,11 +20,22 @@ pub struct RuntimeConfig {
     /// Per-launch dynamic-instruction budget (the hang monitor threshold).
     /// `None` uses the device default.
     pub instr_budget: Option<u64>,
+    /// Wall-clock deadline for the whole run, measured from
+    /// [`Runtime::new`]. Passing it kills the run with
+    /// [`Termination::DeadlineExceeded`] — an infrastructure verdict (the
+    /// harness gave up), distinct from the hang monitor's DUE. `None`
+    /// (the default) disables the deadline.
+    pub wall_deadline: Option<std::time::Duration>,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { gpu: GpuConfig::default(), mem_bytes: 64 << 20, instr_budget: None }
+        RuntimeConfig {
+            gpu: GpuConfig::default(),
+            mem_bytes: 64 << 20,
+            instr_budget: None,
+            wall_deadline: None,
+        }
     }
 }
 
@@ -77,8 +88,10 @@ impl std::fmt::Debug for Runtime {
 impl Runtime {
     /// Create a runtime with the given configuration.
     pub fn new(cfg: RuntimeConfig) -> Runtime {
+        let mut gpu = Gpu::new(cfg.gpu);
+        gpu.set_deadline(cfg.wall_deadline.map(|d| std::time::Instant::now() + d));
         Runtime {
-            gpu: Gpu::new(cfg.gpu),
+            gpu,
             mem: GlobalMem::new(cfg.mem_bytes),
             cfg,
             modules: Vec::new(),
@@ -345,13 +358,19 @@ impl Runtime {
             Ok(stats) => (stats, None, None),
             Err(SimError::Trap { info, stats }) => {
                 let kind = info.kind;
-                self.anomalies.push(info.clone());
-                if kind.is_hang() {
-                    self.hang = Some(info.clone());
-                    (stats, Some(kind), Some(RuntimeError::Hang(info)))
+                if kind.is_deadline() {
+                    // Harness verdict, not a device anomaly: the run is
+                    // abandoned without polluting the potential-DUE record.
+                    (stats, Some(kind), Some(RuntimeError::Deadline(info)))
                 } else {
-                    self.sticky = Some(KernelFault { info });
-                    (stats, Some(kind), None)
+                    self.anomalies.push(info.clone());
+                    if kind.is_hang() {
+                        self.hang = Some(info.clone());
+                        (stats, Some(kind), Some(RuntimeError::Hang(info)))
+                    } else {
+                        self.sticky = Some(KernelFault { info });
+                        (stats, Some(kind), None)
+                    }
                 }
             }
             Err(other) => return Err(RuntimeError::LaunchConfig(other.to_string())),

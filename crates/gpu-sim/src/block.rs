@@ -37,7 +37,16 @@ pub(crate) struct Counters {
     pub cycles: u64,
     /// Launch budget: exceeding it raises [`TrapKind::Timeout`].
     pub budget: u64,
+    /// Wall-clock deadline: passing it raises [`TrapKind::DeadlineExceeded`].
+    /// Polled every [`DEADLINE_POLL_INTERVAL`] instructions, piggybacking on
+    /// the budget check so the common case costs one extra branch.
+    pub deadline: Option<std::time::Instant>,
 }
+
+/// How many dynamic instructions run between wall-clock deadline polls.
+/// A power of two so the check is a mask; coarse enough that `Instant::now`
+/// never shows up in profiles, fine enough to bound overrun to milliseconds.
+pub(crate) const DEADLINE_POLL_INTERVAL: u64 = 1 << 14;
 
 pub(crate) struct BlockState {
     pub threads: Vec<ThreadState>,
@@ -210,6 +219,13 @@ impl BlockState {
         for &ti in &active {
             if counters.executed >= counters.budget {
                 return Err(self.trap(kernel, TrapKind::Timeout, pc, ti as u32));
+            }
+            if counters.executed.is_multiple_of(DEADLINE_POLL_INTERVAL) {
+                if let Some(deadline) = counters.deadline {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(self.trap(kernel, TrapKind::DeadlineExceeded, pc, ti as u32));
+                    }
+                }
             }
             let dyn_index = counters.executed;
             counters.executed += 1;

@@ -68,6 +68,7 @@ impl Default for GpuConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Gpu {
     cfg: GpuConfig,
+    deadline: Option<std::time::Instant>,
 }
 
 /// One kernel launch request.
@@ -101,12 +102,20 @@ pub struct LaunchStats {
 impl Gpu {
     /// Create a device with the given configuration.
     pub fn new(cfg: GpuConfig) -> Gpu {
-        Gpu { cfg }
+        Gpu { cfg, deadline: None }
     }
 
     /// The device configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Arm (or disarm) the wall-clock deadline. While armed, every launch
+    /// polls the clock alongside the instruction-budget hang check and traps
+    /// with [`crate::TrapKind::DeadlineExceeded`] once `deadline` passes —
+    /// the fault-isolation backstop for runaway injection runs.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
     }
 
     /// Run a kernel to completion.
@@ -153,7 +162,29 @@ impl Gpu {
             executed: 0,
             cycles: 0,
             budget: l.instr_budget.unwrap_or(self.cfg.default_instr_budget),
+            deadline: self.deadline,
         };
+        // An already-expired deadline traps before any instruction executes,
+        // so even trivially short launches cannot extend a runaway run.
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(SimError::Trap {
+                    info: crate::trap::TrapInfo {
+                        kind: crate::trap::TrapKind::DeadlineExceeded,
+                        kernel: l.kernel.name().to_string(),
+                        pc: None,
+                        block: None,
+                        thread: None,
+                    },
+                    stats: LaunchStats {
+                        dyn_instrs: 0,
+                        cycles: 0,
+                        blocks: l.grid.count(),
+                        threads_per_block: threads,
+                    },
+                });
+            }
+        }
         let nblocks = l.grid.count() as u32;
         for b in 0..nblocks {
             let sm = b % self.cfg.num_sms;

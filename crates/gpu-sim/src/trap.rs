@@ -54,6 +54,11 @@ pub enum TrapKind {
     /// All runnable threads of a block are blocked and the barrier cannot
     /// release (barrier divergence deadlock).
     BarrierDeadlock,
+    /// The launch outlived the harness's wall-clock deadline. Unlike
+    /// [`TrapKind::Timeout`] this is an *infrastructure* verdict about the
+    /// experiment run itself, not an observation about the program: outcome
+    /// classification must not count it as a DUE.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for TrapKind {
@@ -76,6 +81,7 @@ impl fmt::Display for TrapKind {
             TrapKind::Breakpoint => write!(f, "breakpoint trap"),
             TrapKind::Timeout => write!(f, "dynamic-instruction budget exceeded (hang)"),
             TrapKind::BarrierDeadlock => write!(f, "barrier deadlock"),
+            TrapKind::DeadlineExceeded => write!(f, "wall-clock run deadline exceeded"),
         }
     }
 }
@@ -86,6 +92,12 @@ impl TrapKind {
     /// DUEs, crashes are OS-detected DUEs).
     pub fn is_hang(self) -> bool {
         matches!(self, TrapKind::Timeout | TrapKind::BarrierDeadlock)
+    }
+
+    /// `true` for the wall-clock deadline trap, a harness-infrastructure
+    /// verdict rather than a program outcome.
+    pub fn is_deadline(self) -> bool {
+        matches!(self, TrapKind::DeadlineExceeded)
     }
 }
 
@@ -136,6 +148,9 @@ mod tests {
         assert!(TrapKind::BarrierDeadlock.is_hang());
         assert!(!TrapKind::Killed.is_hang());
         assert!(!TrapKind::IllegalInstruction.is_hang());
+        assert!(!TrapKind::DeadlineExceeded.is_hang(), "deadline is not a DUE");
+        assert!(TrapKind::DeadlineExceeded.is_deadline());
+        assert!(!TrapKind::Timeout.is_deadline());
     }
 
     #[test]

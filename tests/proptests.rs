@@ -4,7 +4,10 @@ use gpu_isa::{
     encode, AtomOp, BoolOp, CmpOp, Dst, Guard, Instr, Kernel, MemRef, MemWidth, Modifier, Module,
     MufuFunc, Opcode, Operand, PReg, Reg, RoundMode, ShflMode, Space, SpecialReg,
 };
-use nvbitfi::{BitFlipModel, InstrGroup, KernelProfile, Profile, ProfilingMode};
+use nvbitfi::{
+    logfile, BitFlipModel, DueKind, InfraKind, InjectionRun, InstrGroup, KernelProfile, Outcome,
+    OutcomeClass, Profile, ProfilingMode, SdcReason, TransientParams,
+};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -64,6 +67,61 @@ fn arb_modifier() -> impl Strategy<Value = Modifier> {
 
 fn arb_guard() -> impl Strategy<Value = Guard> {
     (arb_preg(), any::<bool>()).prop_map(|(pred, negated)| Guard { pred, negated })
+}
+
+fn arb_outcome() -> impl Strategy<Value = Outcome> {
+    // SDC payloads use the parser's placeholder strings so a serialized
+    // outcome round-trips to an *equal* value, not just the same kind.
+    let class = prop_oneof![
+        Just(OutcomeClass::Masked),
+        Just(OutcomeClass::Sdc(vec![SdcReason::Stdout])),
+        Just(OutcomeClass::Sdc(vec![SdcReason::File("<from-log>".into())])),
+        Just(OutcomeClass::Sdc(vec![SdcReason::AppCheck("<from-log>".into())])),
+        Just(OutcomeClass::Sdc(vec![])),
+        Just(OutcomeClass::Due(DueKind::Timeout)),
+        Just(OutcomeClass::Due(DueKind::Crash)),
+        Just(OutcomeClass::Due(DueKind::NonZeroExit)),
+        Just(OutcomeClass::InfraError(InfraKind::WorkerPanic)),
+        Just(OutcomeClass::InfraError(InfraKind::Deadline)),
+    ];
+    (class, any::<bool>()).prop_map(|(class, potential_due)| Outcome { class, potential_due })
+}
+
+prop_compose! {
+    fn arb_log_run()(
+        igid in 1u8..9,
+        bfm in 1u8..5,
+        kern in 0u8..4,
+        kcount in 0u64..6,
+        icount in 0u64..100_000,
+        dreg in 0.0f64..1.0,
+        bitpat in 0.0f64..1.0,
+        outcome in arb_outcome(),
+        injected in any::<bool>(),
+        wall_us in any::<u32>(),
+        skipped in any::<u32>(),
+        pruned in any::<bool>(),
+        attempts in 1u32..5,
+    ) -> InjectionRun {
+        InjectionRun {
+            params: TransientParams {
+                group: InstrGroup::from_id(igid).expect("valid igid"),
+                bit_flip: BitFlipModel::from_id(bfm).expect("valid bfm"),
+                kernel_name: format!("kern_{kern}"),
+                kernel_count: kcount,
+                instruction_count: icount,
+                destination_register: dreg,
+                bit_pattern: bitpat,
+            },
+            outcome,
+            injected,
+            wall: std::time::Duration::from_micros(u64::from(wall_us)),
+            prefix_instrs_skipped: u64::from(skipped),
+            pruned,
+            attempts,
+            resumed: false,
+        }
+    }
 }
 
 prop_compose! {
@@ -220,6 +278,63 @@ proptest! {
     #[test]
     fn guards_encode_roundtrip(guard in arb_guard()) {
         prop_assert_eq!(Guard::decode(guard.encode()), guard);
+    }
+
+    #[test]
+    fn results_log_roundtrips_every_version(
+        runs in prop::collection::vec(arb_log_run(), 1..10),
+        version_cols in 10usize..14,
+    ) {
+        // Serialize each run as v4, then truncate rows to the column count
+        // of an earlier log version: 10 = v1, 11 = v2, 12 = v3, 13 = v4.
+        // The reader must accept all of them, defaulting the missing tail.
+        let mut text = logfile::results_log_header("fuzz.prog", &[("seed", "7".to_string())]);
+        for r in &runs {
+            let full = logfile::results_log_row(r);
+            let cols: Vec<&str> = full.trim_end_matches('\n').split('\t').collect();
+            text.push_str(&cols[..version_cols].join("\t"));
+            text.push('\n');
+        }
+        let rows = logfile::read_results_log(&text).expect("every version parses");
+        prop_assert_eq!(rows.len(), runs.len());
+        for (row, run) in rows.iter().zip(&runs) {
+            prop_assert_eq!(&row.params, &run.params);
+            prop_assert_eq!(&row.outcome, &run.outcome);
+            prop_assert_eq!(row.injected, run.injected);
+            prop_assert_eq!(row.wall_us, run.wall.as_micros() as u64);
+            prop_assert_eq!(
+                row.prefix_instrs_skipped,
+                if version_cols >= 11 { run.prefix_instrs_skipped } else { 0 }
+            );
+            prop_assert_eq!(row.pruned, version_cols >= 12 && run.pruned);
+            prop_assert_eq!(row.attempts, if version_cols >= 13 { run.attempts } else { 1 });
+        }
+        let header = logfile::parse_log_header(&text);
+        prop_assert_eq!(header.program.as_deref(), Some("fuzz.prog"));
+        prop_assert_eq!(header.meta.get("seed").map(String::as_str), Some("7"));
+    }
+
+    #[test]
+    fn results_log_recovery_tolerates_any_torn_tail(
+        runs in prop::collection::vec(arb_log_run(), 1..8),
+        frag in any::<prop::sample::Index>(),
+    ) {
+        let mut text = logfile::results_log_header("fuzz.prog", &[]);
+        for r in &runs {
+            text.push_str(&logfile::results_log_row(r));
+        }
+        let clean = logfile::read_results_log(&text).expect("clean log parses");
+
+        // A crash mid-append tears the final line at an arbitrary byte
+        // (rows are ASCII, so every index is a char boundary). `cut` never
+        // reaches the trailing newline, so any nonzero fragment is torn.
+        let extra = logfile::results_log_row(&runs[0]);
+        let cut = frag.index(extra.len());
+        let torn_text = format!("{text}{}", &extra[..cut]);
+        let (rows, torn) = logfile::recover_results_log(&torn_text).expect("recoverable");
+        prop_assert_eq!(torn, cut > 0);
+        prop_assert_eq!(rows.len(), runs.len(), "only the torn tail is dropped");
+        prop_assert_eq!(logfile::tally(&rows), logfile::tally(&clean));
     }
 
     #[test]
