@@ -1,0 +1,79 @@
+//! Isolation-mode overhead: the same small campaign run with in-process
+//! worker threads vs supervised disposable worker processes. Process mode
+//! pays for child spawns, per-worker golden-run replay, and frame-protocol
+//! round-trips; the acceptance target is staying under 2x the thread-mode
+//! wall clock on this smoke campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvbitfi::{CampaignConfig, IsolationMode, ProcessIsolation, ProfilingMode};
+use std::path::PathBuf;
+use workloads::Scale;
+
+const PROGRAM: &str = "314.omriq";
+
+fn cfg(isolation: IsolationMode) -> CampaignConfig {
+    CampaignConfig {
+        injections: 24,
+        seed: 7,
+        profiling: ProfilingMode::Exact,
+        workers: 2,
+        isolation,
+        ..CampaignConfig::default()
+    }
+}
+
+/// The `nvbitfi` binary next to this bench executable's `deps/` directory.
+/// `cargo bench` does not build bin targets, so the binary may be absent —
+/// the process-mode benchmark is then skipped rather than failed, keeping
+/// `cargo bench` usable without a prior `cargo build`.
+fn worker_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.parent()?.join("nvbitfi");
+    bin.exists().then_some(bin)
+}
+
+fn run(isolation: IsolationMode) {
+    let entry = workloads::find(Scale::Test, PROGRAM).expect("known program");
+    let c = nvbitfi::run_transient_campaign(
+        entry.program.as_ref(),
+        entry.check.as_ref(),
+        &cfg(isolation),
+    )
+    .expect("campaign");
+    assert_eq!(c.counts.infra, 0, "overhead comparison requires clean campaigns");
+}
+
+fn bench_isolation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_isolation/omriq_24_injections");
+
+    g.bench_function("thread", |b| b.iter(|| run(IsolationMode::Thread)));
+
+    match worker_binary() {
+        Some(bin) => {
+            g.bench_function("process", |b| {
+                b.iter(|| {
+                    let iso = ProcessIsolation::new(
+                        vec![bin.to_string_lossy().into_owned(), "worker".to_string()],
+                        "test",
+                    );
+                    run(IsolationMode::Process(iso));
+                })
+            });
+        }
+        None => eprintln!(
+            "campaign_isolation: nvbitfi binary not built; skipping process mode \
+             (run `cargo build --release` first)"
+        ),
+    }
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .json_output(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_isolation.json"));
+    targets = bench_isolation
+}
+criterion_main!(benches);

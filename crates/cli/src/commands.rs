@@ -7,8 +7,9 @@ use nvbit::{CallSite, NvBit, NvBitTool};
 use nvbitfi::{
     atomic_write, classify, golden_run, report, run_permanent_campaign,
     run_transient_campaign_with, select_transient, stats, BitFlipModel, CampaignConfig,
-    CampaignHooks, InjectionRun, InstrGroup, Journal, PermanentCampaignConfig, PermanentInjector,
-    PermanentParams, Profile, ProfilingMode, TransientCampaign, TransientInjector, TransientParams,
+    CampaignHooks, InjectionRun, InstrGroup, IsolationMode, Journal, PermanentCampaignConfig,
+    PermanentInjector, PermanentParams, ProcessIsolation, Profile, ProfilingMode,
+    TransientCampaign, TransientInjector, TransientParams,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -26,8 +27,8 @@ commands:
   select <prog> --profile FILE [--group ID] [--bitflip ID] [--seed S] [--count N] [--out FILE]
   inject <prog> --params FILE [--scale paper|test]
   run-list <prog> --list FILE [--log FILE]
-  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--max-retries N] [--deadline-ms MS] [--no-checkpoint] [--no-static-prune]
-  resume <LOG> [--scale paper|test]
+  campaign <prog> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--max-retries N] [--deadline-ms MS] [--isolation thread|process] [--no-checkpoint] [--no-static-prune]
+  resume <LOG> [--scale paper|test] [--isolation thread|process]
   pf <prog> --opcode MNEMONIC [--sm N] [--lane N] [--mask HEX]
   pf-campaign <prog> [--seed S]
   lint <prog|MODULE.bin> [--json] [--scale paper|test]
@@ -40,6 +41,10 @@ campaign logs are durable journals: every classified run is flushed to
 --log as it completes, Ctrl-C stops dispatching and flushes a partial log,
 and `nvbitfi resume <LOG>` continues an interrupted campaign to the same
 final counts an uninterrupted run would have produced.
+
+--isolation process runs every injection in a supervised disposable worker
+process: a run that segfaults, aborts, or is killed costs one verdict
+(recorded INFRA:died and re-run by resume), never the campaign.
 ";
 
 /// Dispatch a parsed command line.
@@ -69,6 +74,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "assemble" => assemble(&args),
         "trace" => trace(&args),
         "disasm-bin" => disasm_bin(&args),
+        // Hidden: the process-isolation worker entry point, spawned by
+        // `campaign --isolation process` — never by hand, so not in USAGE.
+        "worker" => worker_cmd(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -313,6 +321,50 @@ fn scale_name(s: Scale) -> &'static str {
     }
 }
 
+/// Build the isolation mode from an `--isolation` value (or the journal's
+/// `# meta isolation=`). Process mode spawns this very binary as the worker
+/// command, with the campaign's scale forwarded for the suite lookup.
+fn parse_isolation(choice: Option<&str>, sc: Scale) -> Result<IsolationMode, String> {
+    match choice {
+        None | Some("thread") => Ok(IsolationMode::Thread),
+        Some("process") => {
+            let exe = std::env::current_exe()
+                .map_err(|err| format!("cannot locate own executable to spawn workers: {err}"))?;
+            Ok(IsolationMode::Process(ProcessIsolation::new(
+                vec![exe.to_string_lossy().into_owned(), "worker".to_string()],
+                scale_name(sc),
+            )))
+        }
+        Some(other) => Err(format!("bad isolation `{other}` (thread|process)")),
+    }
+}
+
+fn isolation_name(mode: &IsolationMode) -> &'static str {
+    match mode {
+        IsolationMode::Thread => "thread",
+        IsolationMode::Process(_) => "process",
+    }
+}
+
+/// Hidden subcommand: one process-isolation worker session over
+/// stdin/stdout. See `nvbitfi::worker` for the protocol.
+fn worker_cmd() -> Result<(), String> {
+    // Ctrl-C at the terminal reaches the whole process group; the worker
+    // must outlive it so the supervisor can drain in-flight runs cleanly.
+    crate::sigint::ignore();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    nvbitfi::serve(stdin.lock(), stdout.lock(), &|prog, sc| {
+        let sc = match sc {
+            "paper" => Scale::Paper,
+            "test" => Scale::Test,
+            _ => return None,
+        };
+        workloads::find(sc, prog).map(|e| (e.program, e.check))
+    })
+    .map_err(|err| format!("worker transport failure: {err}"))
+}
+
 /// The `# meta` pairs a results journal records so `resume` can rebuild the
 /// identical seed-deterministic campaign without the original command line.
 fn campaign_meta(sc: Scale, cfg: &CampaignConfig) -> Vec<(&'static str, String)> {
@@ -330,6 +382,7 @@ fn campaign_meta(sc: Scale, cfg: &CampaignConfig) -> Vec<(&'static str, String)>
             "deadline_ms",
             cfg.run_deadline.map_or_else(|| "-".to_string(), |d| d.as_millis().to_string()),
         ),
+        ("isolation", isolation_name(&cfg.isolation).to_string()),
     ]
 }
 
@@ -392,7 +445,8 @@ fn finish_campaign(
 fn campaign(args: &Args) -> Result<(), String> {
     let sc = scale(args)?;
     let e = entry(args, sc)?;
-    let cfg = campaign_cfg(args)?;
+    let mut cfg = campaign_cfg(args)?;
+    cfg.isolation = parse_isolation(args.get("isolation"), sc)?;
     let journal = match args.get("log") {
         Some(path) => {
             let header = nvbitfi::logfile::results_log_header(e.name, &campaign_meta(sc, &cfg));
@@ -459,6 +513,9 @@ fn resume(args: &Args) -> Result<(), String> {
                 v.parse().map_err(|_| "bad `# meta deadline_ms=`".to_string())?,
             )),
         },
+        // The journal records how the campaign executed; a resume
+        // reconstructs the same isolation mode unless overridden.
+        isolation: parse_isolation(args.get("isolation").or(get("isolation")), sc)?,
         ..CampaignConfig::default()
     };
 

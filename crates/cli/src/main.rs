@@ -6,8 +6,8 @@
 //! nvbitfi profile  <program> [--mode exact|approx] [--out FILE]
 //! nvbitfi select   <program> --profile FILE [--group ID] [--bitflip ID] [--seed S] [--out FILE]
 //! nvbitfi inject   <program> --params FILE
-//! nvbitfi campaign <program> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--max-retries N] [--deadline-ms MS]
-//! nvbitfi resume   <LOG> [--scale paper|test]
+//! nvbitfi campaign <program> [--injections N] [--group ID] [--bitflip ID] [--seed S] [--mode exact|approx] [--log FILE] [--max-retries N] [--deadline-ms MS] [--isolation thread|process]
+//! nvbitfi resume   <LOG> [--scale paper|test] [--isolation thread|process]
 //! nvbitfi pf       <program> --sm N --lane N --mask HEX --opcode MNEMONIC
 //! nvbitfi pf-campaign <program> [--seed S]
 //! nvbitfi disasm   <program>

@@ -21,6 +21,7 @@ mod imp {
 
     const SIGINT: i32 = 2;
     const SIG_DFL: usize = 0;
+    const SIG_IGN: usize = 1;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -41,6 +42,12 @@ mod imp {
             signal(SIGINT, handler as usize);
         }
     }
+
+    pub fn ignore() {
+        unsafe {
+            signal(SIGINT, SIG_IGN);
+        }
+    }
 }
 
 #[cfg(not(unix))]
@@ -48,11 +55,22 @@ mod imp {
     /// Non-Unix builds run campaigns without interrupt support; Ctrl-C
     /// falls back to the platform default (terminate).
     pub fn install() {}
+
+    pub fn ignore() {}
 }
 
 /// Install the SIGINT handler. Call once, before starting a campaign.
 pub fn install() {
     imp::install();
+}
+
+/// Ignore SIGINT entirely. Worker processes use this: a terminal Ctrl-C is
+/// aimed at the supervising campaign, which lets in-flight runs finish and
+/// then drains its workers over the protocol (shutdown frame, then SIGTERM)
+/// — a worker that died to the shared SIGINT would instead burn a retry and
+/// leave its in-flight site as an infra error.
+pub fn ignore() {
+    imp::ignore();
 }
 
 /// `true` once the user has pressed Ctrl-C.

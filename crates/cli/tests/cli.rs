@@ -194,7 +194,7 @@ fn split_campaign_via_list_and_log() {
     let rows = log.lines().filter(|l| !l.starts_with('#')).count();
     assert_eq!(rows, 8, "one result row per fault:\n{log}");
     assert!(stdout(&o).contains("8 classified runs"), "{}", stdout(&o));
-    assert!(log.starts_with("# nvbitfi results log v4"), "journal header:\n{log}");
+    assert!(log.starts_with("# nvbitfi results log v5"), "journal header:\n{log}");
 
     for p in [profile_path, list_path, log_path] {
         let _ = std::fs::remove_file(p);
@@ -237,7 +237,7 @@ fn campaign_journal_resumes_after_crash() {
     let baseline = counts_of(&full);
 
     let text = std::fs::read_to_string(&log_path).expect("log");
-    assert!(text.starts_with("# nvbitfi results log v4 program=314.omriq"), "{text}");
+    assert!(text.starts_with("# nvbitfi results log v5 program=314.omriq"), "{text}");
     for meta in [
         "# meta scale=test",
         "# meta seed=7",

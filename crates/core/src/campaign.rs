@@ -16,6 +16,7 @@ use crate::igid::InstrGroup;
 use crate::outcome::{classify, InfraKind, Outcome, OutcomeClass, OutcomeCounts, SdcCheck};
 use crate::params::{PermanentParams, TransientParams};
 use crate::permanent::PermanentInjector;
+use crate::pool::{self, IsolationMode};
 use crate::profile::{profile_program, Profile, ProfilingMode};
 use crate::prune::prune_dead_sites;
 use crate::select::select_campaign;
@@ -71,8 +72,12 @@ pub struct CampaignConfig {
     /// Test-only fault injector for the harness itself: called before each
     /// execution attempt with `(site_index, attempt)`; returning `true`
     /// panics the worker at that point. `None` (always, outside tests)
-    /// disables it.
+    /// disables it. Honored by thread isolation only; process isolation has
+    /// its own knob ([`crate::pool::ProcessIsolation::kill_hook`]).
     pub fault_hook: Option<FaultHook>,
+    /// How injection runs execute: in-process worker threads (the default)
+    /// or supervised disposable worker processes — see [`IsolationMode`].
+    pub isolation: IsolationMode,
 }
 
 /// A harness-fault injector for testing worker isolation: `(site_index,
@@ -109,6 +114,7 @@ impl Default for CampaignConfig {
             retry_backoff: Duration::from_millis(50),
             run_deadline: None,
             fault_hook: None,
+            isolation: IsolationMode::Thread,
         }
     }
 }
@@ -212,6 +218,16 @@ impl TransientCampaign {
     /// Number of runs that needed more than one execution attempt.
     pub fn retried_runs(&self) -> usize {
         self.runs.iter().filter(|r| r.attempts > 1).count()
+    }
+
+    /// Number of sites whose verdict is [`InfraKind::WorkerDied`] — a
+    /// process-isolated worker vanished mid-run and the retry budget ran
+    /// out (always 0 under thread isolation).
+    pub fn worker_deaths(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.outcome.class == OutcomeClass::InfraError(InfraKind::WorkerDied))
+            .count()
     }
 }
 
@@ -444,11 +460,14 @@ pub fn run_transient_campaign_with(
     // Each site executes behind an isolation boundary: a worker panic or a
     // deadline overrun costs (after `max_retries` further attempts) only
     // that site's verdict — recorded as InfraError — never the campaign.
-    let (mut tagged, interrupted) = fan_out_until(
-        cfg.workers,
-        work,
-        &|| hooks.should_stop(),
-        |_, (orig, params, upto, pruned): (usize, TransientParams, _, bool)| {
+    let (mut tagged, interrupted) = if let IsolationMode::Process(iso) = &cfg.isolation {
+        // Process isolation: live sites cross the process boundary to a
+        // supervised worker pool; pruned sites never touch a worker — their
+        // Masked verdict is synthesized supervisor-side, exactly as in
+        // thread mode.
+        let mut synthesized: Vec<(usize, InjectionRun)> = Vec::new();
+        let mut live: Vec<(usize, TransientParams)> = Vec::new();
+        for (orig, params, _upto, pruned) in work {
             if pruned {
                 let run = InjectionRun {
                     params,
@@ -461,75 +480,103 @@ pub fn run_transient_campaign_with(
                     resumed: false,
                 };
                 hooks.on_run(&run);
-                return (orig, run);
+                synthesized.push((orig, run));
+            } else {
+                live.push((orig, params));
             }
-            let max_attempts = cfg.max_retries.saturating_add(1);
-            let mut attempts = 0u32;
-            let run = loop {
-                attempts += 1;
-                let t = Instant::now();
-                let attempt = isolate(|| {
-                    if let Some(hook) = &cfg.fault_hook {
-                        if (hook.0)(orig, attempts) {
-                            panic!("fault-hook: injected worker panic");
-                        }
-                    }
-                    let (tool, handle) = TransientInjector::new(params.clone());
-                    let out = match (&checkpoints, upto) {
-                        (Some(store), Some(upto)) => run_program_fast_forward(
-                            program,
-                            inj_cfg.clone(),
-                            Some(Box::new(tool)),
-                            Arc::clone(store),
-                            upto,
-                        ),
-                        _ => run_program(program, inj_cfg.clone(), Some(Box::new(tool))),
+        }
+        let (mut done, stopped) =
+            pool::run_pool(iso, cfg, program.name(), live, &|| hooks.should_stop(), hooks);
+        done.extend(synthesized);
+        (done, stopped)
+    } else {
+        fan_out_until(
+            cfg.workers,
+            work,
+            &|| hooks.should_stop(),
+            |_, (orig, params, upto, pruned): (usize, TransientParams, _, bool)| {
+                if pruned {
+                    let run = InjectionRun {
+                        params,
+                        outcome: Outcome { class: OutcomeClass::Masked, potential_due: false },
+                        injected: true,
+                        wall: Duration::ZERO,
+                        prefix_instrs_skipped: 0,
+                        pruned: true,
+                        attempts: 1,
+                        resumed: false,
                     };
-                    let outcome = classify(&golden, &out, check);
-                    (outcome, handle.get().injected, out.prefix_instrs_skipped)
-                });
-                let wall = t.elapsed();
-                match attempt {
-                    Attempt::Finished((outcome, injected, skipped))
-                        if !outcome.is_infra() || attempts >= max_attempts =>
-                    {
-                        break InjectionRun {
-                            params,
-                            outcome,
-                            injected,
-                            wall,
-                            prefix_instrs_skipped: skipped,
-                            pruned: false,
-                            attempts,
-                            resumed: false,
-                        };
-                    }
-                    Attempt::Panicked if attempts >= max_attempts => {
-                        break InjectionRun {
-                            params,
-                            outcome: Outcome {
-                                class: OutcomeClass::InfraError(InfraKind::WorkerPanic),
-                                potential_due: false,
-                            },
-                            injected: false,
-                            wall,
-                            prefix_instrs_skipped: 0,
-                            pruned: false,
-                            attempts,
-                            resumed: false,
-                        };
-                    }
-                    // Deadline overrun or panic with attempts remaining.
-                    Attempt::Finished(_) | Attempt::Panicked => {}
+                    hooks.on_run(&run);
+                    return (orig, run);
                 }
-                if !cfg.retry_backoff.is_zero() {
-                    std::thread::sleep(cfg.retry_backoff * attempts);
-                }
-            };
-            hooks.on_run(&run);
-            (orig, run)
-        },
-    );
+                let max_attempts = cfg.max_retries.saturating_add(1);
+                let mut attempts = 0u32;
+                let run = loop {
+                    attempts += 1;
+                    let t = Instant::now();
+                    let attempt = isolate(|| {
+                        if let Some(hook) = &cfg.fault_hook {
+                            if (hook.0)(orig, attempts) {
+                                panic!("fault-hook: injected worker panic");
+                            }
+                        }
+                        let (tool, handle) = TransientInjector::new(params.clone());
+                        let out = match (&checkpoints, upto) {
+                            (Some(store), Some(upto)) => run_program_fast_forward(
+                                program,
+                                inj_cfg.clone(),
+                                Some(Box::new(tool)),
+                                Arc::clone(store),
+                                upto,
+                            ),
+                            _ => run_program(program, inj_cfg.clone(), Some(Box::new(tool))),
+                        };
+                        let outcome = classify(&golden, &out, check);
+                        (outcome, handle.get().injected, out.prefix_instrs_skipped)
+                    });
+                    let wall = t.elapsed();
+                    match attempt {
+                        Attempt::Finished((outcome, injected, skipped))
+                            if !outcome.is_infra() || attempts >= max_attempts =>
+                        {
+                            break InjectionRun {
+                                params,
+                                outcome,
+                                injected,
+                                wall,
+                                prefix_instrs_skipped: skipped,
+                                pruned: false,
+                                attempts,
+                                resumed: false,
+                            };
+                        }
+                        Attempt::Panicked if attempts >= max_attempts => {
+                            break InjectionRun {
+                                params,
+                                outcome: Outcome {
+                                    class: OutcomeClass::InfraError(InfraKind::WorkerPanic),
+                                    potential_due: false,
+                                },
+                                injected: false,
+                                wall,
+                                prefix_instrs_skipped: 0,
+                                pruned: false,
+                                attempts,
+                                resumed: false,
+                            };
+                        }
+                        // Deadline overrun or panic with attempts remaining.
+                        Attempt::Finished(_) | Attempt::Panicked => {}
+                    }
+                    if !cfg.retry_backoff.is_zero() {
+                        std::thread::sleep(cfg.retry_backoff * attempts);
+                    }
+                };
+                hooks.on_run(&run);
+                (orig, run)
+            },
+        )
+    };
     // fan_out preserved dispatch (grouped) order; report in selection order,
     // with reloaded prior verdicts merged back in.
     tagged.extend(reloaded);

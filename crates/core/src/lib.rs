@@ -96,12 +96,14 @@ pub mod multi;
 pub mod outcome;
 mod params;
 pub mod permanent;
+pub mod pool;
 pub mod profile;
 pub mod prune;
 pub mod report;
 mod select;
 pub mod stats;
 pub mod transient;
+pub mod worker;
 
 pub use avf::{AvfEstimate, GroupAvf};
 pub use bitflip::BitFlipModel;
@@ -121,6 +123,7 @@ pub use outcome::{
 };
 pub use params::{PermanentParams, TransientParams};
 pub use permanent::{PermanentHandle, PermanentInjector, PermanentRecord};
+pub use pool::{IsolationMode, ProcessIsolation};
 pub use profile::{
     profile_program, FaultSite, KernelProfile, Profile, ProfileHandle, Profiler, ProfilingMode,
 };
@@ -130,3 +133,4 @@ pub use transient::{
     select_destination, CorruptedTarget, InjectionDetail, InjectionHandle, InjectionRecord,
     TransientInjector,
 };
+pub use worker::{serve, Msg, WorkerInit, MAX_FRAME};

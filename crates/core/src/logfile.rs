@@ -83,7 +83,9 @@ pub fn read_injection_list(text: &str) -> Result<Vec<TransientParams>, FiError> 
     Ok(sites)
 }
 
-fn outcome_code(o: &Outcome) -> String {
+/// The compact outcome code a results-log row (and the worker protocol's
+/// `done` frame) carries, e.g. `MASKED`, `SDC:stdout`, `DUE:crash+pdue`.
+pub fn outcome_code(o: &Outcome) -> String {
     let base = match &o.class {
         OutcomeClass::Masked => "MASKED".to_string(),
         OutcomeClass::Sdc(reasons) => {
@@ -100,6 +102,7 @@ fn outcome_code(o: &Outcome) -> String {
         OutcomeClass::Due(DueKind::NonZeroExit) => "DUE:exit".to_string(),
         OutcomeClass::InfraError(InfraKind::WorkerPanic) => "INFRA:panic".to_string(),
         OutcomeClass::InfraError(InfraKind::Deadline) => "INFRA:deadline".to_string(),
+        OutcomeClass::InfraError(InfraKind::WorkerDied) => "INFRA:died".to_string(),
     };
     if o.potential_due {
         format!("{base}+pdue")
@@ -108,7 +111,9 @@ fn outcome_code(o: &Outcome) -> String {
     }
 }
 
-fn parse_outcome(code: &str) -> Option<Outcome> {
+/// Parse an [`outcome_code`] back into an [`Outcome`] (SDC reasons carry
+/// placeholder payloads — the code stores only the reason *kind*).
+pub fn parse_outcome(code: &str) -> Option<Outcome> {
     let (base, potential_due) = match code.strip_suffix("+pdue") {
         Some(b) => (b, true),
         None => (code, false),
@@ -124,6 +129,7 @@ fn parse_outcome(code: &str) -> Option<Outcome> {
         "DUE:exit" => OutcomeClass::Due(DueKind::NonZeroExit),
         "INFRA:panic" => OutcomeClass::InfraError(InfraKind::WorkerPanic),
         "INFRA:deadline" => OutcomeClass::InfraError(InfraKind::Deadline),
+        "INFRA:died" => OutcomeClass::InfraError(InfraKind::WorkerDied),
         _ => return None,
     };
     Some(Outcome { class, potential_due })
@@ -195,7 +201,7 @@ pub fn parse_log_header(text: &str) -> LogHeader {
 ///
 /// Keys and values must not contain newlines (they are written verbatim).
 pub fn results_log_header(program: &str, meta: &[(&str, String)]) -> String {
-    let mut out = format!("# nvbitfi results log v4 program={program}\n");
+    let mut out = format!("# nvbitfi results log v5 program={program}\n");
     for (k, v) in meta {
         out.push_str(&format!("# meta {k}={v}\n"));
     }
@@ -230,10 +236,11 @@ pub fn results_log_row(run: &InjectionRun) -> String {
 /// Serialize a campaign's per-run results, one line per injection. The v2
 /// format appended a `skip_instrs` column (dynamic instructions skipped by
 /// checkpoint fast-forward); v3 appended a `pruned` column (`static` for
-/// statically-pruned sites, `-` for simulated runs); v4 appends an
+/// statically-pruned sites, `-` for simulated runs); v4 appended an
 /// `attempts` column (executions the verdict took, counting retries) and
-/// admits `# meta key=value` header lines. The reader still accepts v1–v3
-/// rows.
+/// admitted `# meta key=value` header lines; v5 adds no columns but admits
+/// the `isolation=` meta key and the `INFRA:died` outcome code recorded by
+/// process-isolated campaigns. The reader still accepts v1–v4 rows.
 pub fn write_results_log(c: &TransientCampaign) -> String {
     let mut out = results_log_header(&c.program, &[]);
     for run in &c.runs {
@@ -411,6 +418,10 @@ mod tests {
                 potential_due: false,
             },
             Outcome { class: OutcomeClass::InfraError(InfraKind::Deadline), potential_due: false },
+            Outcome {
+                class: OutcomeClass::InfraError(InfraKind::WorkerDied),
+                potential_due: false,
+            },
         ];
         for o in outcomes {
             let code = outcome_code(&o);
@@ -470,7 +481,7 @@ mod tests {
             interrupted: false,
         };
         let text = write_results_log(&campaign);
-        assert!(text.starts_with("# nvbitfi results log v4 program=test.prog"));
+        assert!(text.starts_with("# nvbitfi results log v5 program=test.prog"));
         let rows = read_results_log(&text).expect("parse");
         assert_eq!(rows.len(), 10);
         assert_eq!(tally(&rows), campaign.counts);

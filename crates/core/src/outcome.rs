@@ -75,6 +75,12 @@ pub enum InfraKind {
     /// The run outlived its wall-clock deadline and was killed
     /// ([`gpu_runtime::RuntimeConfig::wall_deadline`]).
     Deadline,
+    /// A process-isolated worker died (segfault, abort, OOM-kill, or
+    /// protocol corruption) and kept dying after respawn retries. Unlike
+    /// [`InfraKind::WorkerPanic`] — a caught Rust panic inside a live
+    /// worker — this is the supervisor's verdict on a worker whose process
+    /// vanished mid-run.
+    WorkerDied,
 }
 
 impl fmt::Display for InfraKind {
@@ -82,6 +88,7 @@ impl fmt::Display for InfraKind {
         match self {
             InfraKind::WorkerPanic => write!(f, "worker panic"),
             InfraKind::Deadline => write!(f, "wall-clock deadline exceeded"),
+            InfraKind::WorkerDied => write!(f, "worker process died"),
         }
     }
 }

@@ -81,16 +81,18 @@ pub fn transient_summary(c: &TransientCampaign) -> String {
 
 /// One-line robustness accounting for a campaign: how many verdicts were
 /// executed fresh vs reloaded by `resume`, how many runs needed retries,
-/// how many ended as infrastructure errors, and whether the campaign was
-/// interrupted before covering every selected site.
+/// how many ended as infrastructure errors (and of those, how many were
+/// worker-process deaths), and whether the campaign was interrupted before
+/// covering every selected site.
 pub fn robustness_line(c: &TransientCampaign) -> String {
     let resumed = c.resumed_runs();
     let mut line = format!(
-        "robustness: {} fresh, {} resumed, {} retried, {} infra errors",
+        "robustness: {} fresh, {} resumed, {} retried, {} infra errors, {} worker deaths",
         c.runs.len() - resumed,
         resumed,
         c.retried_runs(),
         c.counts.infra,
+        c.worker_deaths(),
     );
     if c.interrupted {
         line.push_str(" — INTERRUPTED (partial results)");
@@ -186,7 +188,10 @@ mod tests {
             attempts,
             resumed,
         };
-        let runs = vec![run(false, 1, false), run(true, 1, false), run(false, 3, true)];
+        let mut runs = vec![run(false, 1, false), run(true, 1, false), run(false, 3, true)];
+        let mut died = run(false, 2, true);
+        died.outcome.class = OutcomeClass::InfraError(InfraKind::WorkerDied);
+        runs.push(died);
         let mut counts = OutcomeCounts::default();
         for r in &runs {
             counts.add(&r.outcome);
@@ -208,10 +213,11 @@ mod tests {
             interrupted: false,
         };
         let line = robustness_line(&c);
-        assert!(line.contains("2 fresh"), "{line}");
+        assert!(line.contains("3 fresh"), "{line}");
         assert!(line.contains("1 resumed"), "{line}");
-        assert!(line.contains("1 retried"), "{line}");
-        assert!(line.contains("1 infra errors"), "{line}");
+        assert!(line.contains("2 retried"), "{line}");
+        assert!(line.contains("2 infra errors"), "{line}");
+        assert!(line.contains("1 worker deaths"), "{line}");
         assert!(!line.contains("INTERRUPTED"), "{line}");
 
         let mut c = c;

@@ -48,6 +48,11 @@ pub enum RuntimeError {
     /// fatal, and classified as campaign infrastructure failure — never a
     /// DUE.
     Deadline(TrapInfo),
+    /// The resource governor ([`crate::RuntimeConfig::limits`]) killed the
+    /// run: a fault-corrupted allocation size or shared-memory declaration
+    /// breached a cap. Always fatal, and classified as an OS-detected crash
+    /// (DUE) — the sandbox analog of a cgroup OOM-kill.
+    ResourceLimit(TrapInfo),
     /// A checked API observed the sticky device fault.
     Sticky(KernelFault),
     /// The application chose to abort the process on a device fault
@@ -66,6 +71,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Hang(info) => write!(f, "kernel hang detected by monitor: {info}"),
             RuntimeError::Deadline(info) => {
                 write!(f, "run killed at wall-clock deadline: {info}")
+            }
+            RuntimeError::ResourceLimit(info) => {
+                write!(f, "run killed by resource governor: {info}")
             }
             RuntimeError::Sticky(fault) => write!(f, "{fault}"),
             RuntimeError::DeviceAbort(fault) => {

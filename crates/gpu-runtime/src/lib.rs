@@ -33,7 +33,7 @@ pub use program::{
     run_program, run_program_fast_forward, run_program_recording, Program, ProgramOutput,
     Termination,
 };
-pub use runtime::{KernelHandle, ModuleId, Runtime, RuntimeConfig};
+pub use runtime::{KernelHandle, ModuleId, Runtime, RuntimeConfig, OUTPUT_TRUNCATED_MARKER};
 pub use tool::{InstrMasks, KernelLaunchInfo, LaunchRecord, RunSummary, Tool};
 
 #[cfg(test)]
@@ -234,6 +234,67 @@ mod tests {
         let out = run_program(&Spin, cfg, None);
         assert_eq!(out.termination, Termination::DeadlineExceeded);
         assert_eq!(out.summary.dyn_instrs, 0);
+    }
+
+    #[test]
+    fn governor_alloc_cap_terminates_as_crash() {
+        // A fault-corrupted allocation size: the governor must kill the run
+        // (Termination::Crash), not bubble up a host allocation failure.
+        struct Runaway;
+        impl Program for Runaway {
+            fn name(&self) -> &str {
+                "runaway"
+            }
+            fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+                rt.alloc(2 << 20)?;
+                Ok(())
+            }
+        }
+        let cfg = RuntimeConfig {
+            mem_bytes: 64 << 20,
+            limits: gpu_sim::ResourceLimits { max_global_bytes: 1 << 20, ..Default::default() },
+            ..Default::default()
+        };
+        let out = run_program(&Runaway, cfg, None);
+        assert_eq!(out.termination, Termination::Crash);
+        assert!(out.has_anomaly(), "governor kill is recorded in the trap log");
+
+        // Under default limits the same allocation is unremarkable.
+        let out = run_program(&Runaway, RuntimeConfig::default(), None);
+        assert_eq!(out.termination, Termination::Normal { exit_code: 0 });
+    }
+
+    #[test]
+    fn governor_truncates_runaway_output() {
+        // A fault-corrupted print-loop bound: capture stops at the cap with
+        // an explicit marker instead of growing without bound.
+        struct Chatty;
+        impl Program for Chatty {
+            fn name(&self) -> &str {
+                "chatty"
+            }
+            fn run(&self, rt: &mut Runtime) -> Result<(), RuntimeError> {
+                for i in 0..1000 {
+                    rt.println(format!("line {i}"));
+                }
+                rt.write_file("out.dat", vec![7u8; 4096]);
+                Ok(())
+            }
+        }
+        let cfg = RuntimeConfig {
+            limits: gpu_sim::ResourceLimits { max_output_bytes: 256, ..Default::default() },
+            ..Default::default()
+        };
+        let out = run_program(&Chatty, cfg, None);
+        assert!(out.stdout.len() < 1024, "stdout capped near the limit");
+        assert!(out.stdout.ends_with(&format!("{OUTPUT_TRUNCATED_MARKER}\n")));
+        assert_eq!(out.stdout.matches(OUTPUT_TRUNCATED_MARKER).count(), 1, "marker once");
+        assert_eq!(out.termination, Termination::Normal { exit_code: 0 }, "truncation never traps");
+        assert!(out.files.get("out.dat").is_none_or(|f| f.len() < 4096));
+
+        let out = run_program(&Chatty, RuntimeConfig::default(), None);
+        assert!(!out.stdout.contains(OUTPUT_TRUNCATED_MARKER));
+        assert_eq!(out.files["out.dat"].len(), 4096);
     }
 
     #[test]

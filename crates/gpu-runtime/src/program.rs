@@ -144,6 +144,9 @@ fn drive(
         Err(RuntimeError::Hang(_)) => Termination::Hang,
         Err(RuntimeError::Deadline(_)) => Termination::DeadlineExceeded,
         Err(RuntimeError::DeviceAbort(_)) => Termination::Crash,
+        // Governor kill: the sandbox terminates the victim like an OOM-kill,
+        // which the OS (and thus Table V) records as a crash.
+        Err(RuntimeError::ResourceLimit(_)) => Termination::Crash,
         Err(e) => {
             rt.println(format!("error: {e}"));
             Termination::Normal { exit_code: 1 }

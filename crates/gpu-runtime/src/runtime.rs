@@ -5,7 +5,8 @@ use crate::error::{KernelFault, RuntimeError};
 use crate::tool::{InstrMasks, KernelLaunchInfo, LaunchRecord, RunSummary, Tool};
 use gpu_isa::{encode, Module};
 use gpu_sim::{
-    DevPtr, Dim3, GlobalMem, Gpu, GpuConfig, Instrumentation, Launch, SimError, TrapInfo,
+    DevPtr, Dim3, GlobalMem, Gpu, GpuConfig, Instrumentation, Launch, MemError, ResourceLimits,
+    SimError, TrapInfo, TrapKind,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -26,6 +27,14 @@ pub struct RuntimeConfig {
     /// harness gave up), distinct from the hang monitor's DUE. `None`
     /// (the default) disables the deadline.
     pub wall_deadline: Option<std::time::Duration>,
+    /// Resource-governor caps enforced on every run: global allocations,
+    /// per-kernel static shared memory, and captured output. Breaching a
+    /// memory cap kills the run with [`crate::RuntimeError::ResourceLimit`]
+    /// (classified as an OS-detected crash); breaching the output cap
+    /// truncates capture with [`OUTPUT_TRUNCATED_MARKER`]. Defaults are far
+    /// above any golden run's usage, so only fault-corrupted executions can
+    /// trip them.
+    pub limits: ResourceLimits,
 }
 
 impl Default for RuntimeConfig {
@@ -35,9 +44,14 @@ impl Default for RuntimeConfig {
             mem_bytes: 64 << 20,
             instr_budget: None,
             wall_deadline: None,
+            limits: ResourceLimits::default(),
         }
     }
 }
+
+/// Line appended to captured stdout when the resource governor truncates
+/// runaway output (e.g. a fault-corrupted loop bound printing forever).
+pub const OUTPUT_TRUNCATED_MARKER: &str = "[output truncated: resource governor cap reached]";
 
 /// Handle to a loaded module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,6 +86,8 @@ pub struct Runtime {
     hang: Option<TrapInfo>,
     checkpoint_log: Option<CheckpointStore>,
     fast_forward: Option<FastForward>,
+    output_bytes: u64,
+    output_truncated: bool,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -90,9 +106,12 @@ impl Runtime {
     pub fn new(cfg: RuntimeConfig) -> Runtime {
         let mut gpu = Gpu::new(cfg.gpu);
         gpu.set_deadline(cfg.wall_deadline.map(|d| std::time::Instant::now() + d));
+        gpu.set_limits(Some(cfg.limits));
+        let mut mem = GlobalMem::new(cfg.mem_bytes);
+        mem.set_alloc_limit(Some(cfg.limits.max_global_bytes));
         Runtime {
             gpu,
-            mem: GlobalMem::new(cfg.mem_bytes),
+            mem,
             cfg,
             modules: Vec::new(),
             tool: None,
@@ -105,6 +124,8 @@ impl Runtime {
             hang: None,
             checkpoint_log: None,
             fast_forward: None,
+            output_bytes: 0,
+            output_truncated: false,
         }
     }
 
@@ -194,9 +215,31 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Mem`] when device memory is exhausted.
+    /// Returns [`RuntimeError::ResourceLimit`] when the governor's
+    /// allocation cap is breached (a fault-corrupted allocation size — the
+    /// run is killed like a sandboxed OOM), or [`RuntimeError::Mem`] when
+    /// device memory is genuinely exhausted.
     pub fn alloc(&mut self, bytes: u32) -> Result<DevPtr, RuntimeError> {
-        Ok(self.mem.alloc(bytes)?)
+        match self.mem.alloc(bytes) {
+            Err(MemError::LimitExceeded { requested, limit }) => {
+                let info = TrapInfo {
+                    kind: TrapKind::ResourceLimit {
+                        space: gpu_isa::Space::Global,
+                        requested,
+                        limit,
+                    },
+                    kernel: "<host-alloc>".to_string(),
+                    pc: None,
+                    block: None,
+                    thread: None,
+                };
+                // Like the launch-path governor kill: visible in the trap
+                // log the way a sandbox OOM-kill is visible in dmesg.
+                self.anomalies.push(info.clone());
+                Err(RuntimeError::ResourceLimit(info))
+            }
+            other => Ok(other?),
+        }
     }
 
     /// Host→device copy of `f32`s.
@@ -362,6 +405,11 @@ impl Runtime {
                     // Harness verdict, not a device anomaly: the run is
                     // abandoned without polluting the potential-DUE record.
                     (stats, Some(kind), Some(RuntimeError::Deadline(info)))
+                } else if kind.is_resource_limit() {
+                    // Governor kill: fatal like a hang, but the OS (not the
+                    // monitor) observes it — a crash in Table V terms.
+                    self.anomalies.push(info.clone());
+                    (stats, Some(kind), Some(RuntimeError::ResourceLimit(info)))
                 } else {
                     self.anomalies.push(info.clone());
                     if kind.is_hang() {
@@ -446,9 +494,35 @@ impl Runtime {
     // --- program-visible output -----------------------------------------------------
 
     /// Append a line to the program's standard output.
+    ///
+    /// Once total captured output (stdout plus files) reaches the
+    /// governor's [`ResourceLimits::max_output_bytes`] cap, further lines
+    /// are dropped and [`OUTPUT_TRUNCATED_MARKER`] is appended exactly once
+    /// — runaway fault-induced print loops cannot exhaust host memory.
     pub fn println(&mut self, line: impl AsRef<str>) {
-        self.stdout.push_str(line.as_ref());
+        if self.output_truncated {
+            return;
+        }
+        let line = line.as_ref();
+        let n = line.len() as u64 + 1;
+        if self.output_bytes + n > self.cfg.limits.max_output_bytes {
+            self.mark_output_truncated();
+            return;
+        }
+        self.output_bytes += n;
+        self.stdout.push_str(line);
         self.stdout.push('\n');
+    }
+
+    fn mark_output_truncated(&mut self) {
+        self.output_truncated = true;
+        self.stdout.push_str(OUTPUT_TRUNCATED_MARKER);
+        self.stdout.push('\n');
+    }
+
+    /// `true` if the governor truncated captured output this run.
+    pub fn output_truncated(&self) -> bool {
+        self.output_truncated
     }
 
     /// The standard output so far.
@@ -457,7 +531,21 @@ impl Runtime {
     }
 
     /// Write (or overwrite) a named output file.
-    pub fn write_file(&mut self, name: impl Into<String>, bytes: Vec<u8>) {
+    ///
+    /// Shares the governor's output budget with [`Runtime::println`]: a
+    /// file that would push total capture past
+    /// [`ResourceLimits::max_output_bytes`] is truncated to the remaining
+    /// budget and the stdout marker is appended.
+    pub fn write_file(&mut self, name: impl Into<String>, mut bytes: Vec<u8>) {
+        if self.output_truncated {
+            return;
+        }
+        let remaining = self.cfg.limits.max_output_bytes.saturating_sub(self.output_bytes);
+        if bytes.len() as u64 > remaining {
+            bytes.truncate(remaining as usize);
+            self.mark_output_truncated();
+        }
+        self.output_bytes += bytes.len() as u64;
         self.files.insert(name.into(), bytes);
     }
 

@@ -69,6 +69,7 @@ impl Default for GpuConfig {
 pub struct Gpu {
     cfg: GpuConfig,
     deadline: Option<std::time::Instant>,
+    limits: Option<crate::ResourceLimits>,
 }
 
 /// One kernel launch request.
@@ -102,7 +103,7 @@ pub struct LaunchStats {
 impl Gpu {
     /// Create a device with the given configuration.
     pub fn new(cfg: GpuConfig) -> Gpu {
-        Gpu { cfg, deadline: None }
+        Gpu { cfg, deadline: None, limits: None }
     }
 
     /// The device configuration.
@@ -116,6 +117,14 @@ impl Gpu {
     /// the fault-isolation backstop for runaway injection runs.
     pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
         self.deadline = deadline;
+    }
+
+    /// Arm (or disarm) the resource governor's launch-time caps. While
+    /// armed, a kernel declaring more static shared memory than
+    /// [`crate::ResourceLimits::max_shared_bytes`] traps with
+    /// [`crate::TrapKind::ResourceLimit`] instead of allocating it.
+    pub fn set_limits(&mut self, limits: Option<crate::ResourceLimits>) {
+        self.limits = limits;
     }
 
     /// Run a kernel to completion.
@@ -154,6 +163,32 @@ impl Gpu {
                 return Err(SimError::BadInstrumentationMask {
                     mask_len: ins.before_mask.len(),
                     kernel_len: l.kernel.len(),
+                });
+            }
+        }
+
+        // Governor check: a fault-corrupted shared-memory declaration traps
+        // like a sandbox kill instead of materializing a huge scratchpad.
+        if let Some(limits) = self.limits {
+            if l.kernel.shared_bytes() > limits.max_shared_bytes {
+                return Err(SimError::Trap {
+                    info: crate::trap::TrapInfo {
+                        kind: crate::trap::TrapKind::ResourceLimit {
+                            space: gpu_isa::Space::Shared,
+                            requested: l.kernel.shared_bytes(),
+                            limit: limits.max_shared_bytes,
+                        },
+                        kernel: l.kernel.name().to_string(),
+                        pc: None,
+                        block: None,
+                        thread: None,
+                    },
+                    stats: LaunchStats {
+                        dyn_instrs: 0,
+                        cycles: 0,
+                        blocks: l.grid.count(),
+                        threads_per_block: threads,
+                    },
                 });
             }
         }

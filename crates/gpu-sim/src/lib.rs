@@ -32,6 +32,7 @@ mod exec;
 mod gpu;
 mod grid;
 mod hooks;
+mod limits;
 mod memory;
 mod regfile;
 mod trap;
@@ -41,6 +42,7 @@ pub use exec::{exec_scalar, ExecEnv, Flow};
 pub use gpu::{Gpu, GpuConfig, Launch, LaunchStats, MAX_BLOCK_THREADS, MAX_PARAM_BYTES};
 pub use grid::Dim3;
 pub use hooks::{ExecHook, InstrSite, Instrumentation, ThreadCtx, ThreadMeta};
+pub use limits::ResourceLimits;
 pub use memory::{DevPtr, GlobalMem, MemError, MemSnapshot, SharedMem, PAGE_SIZE};
 pub use regfile::RegFile;
 pub use trap::{TrapInfo, TrapKind};
@@ -229,6 +231,53 @@ mod integration_tests {
             }
             other => panic!("expected trap, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn shared_mem_over_governor_cap_traps() {
+        let mut k = KernelBuilder::new("hog");
+        k.shared_bytes(1 << 20); // 1 MiB, far past the 48 KiB cap
+        k.exit();
+        let kernel = k.finish();
+        let mut g = gpu();
+        g.set_limits(Some(ResourceLimits::default()));
+        let mut mem = GlobalMem::new(4096);
+        let err = g
+            .launch(
+                &Launch {
+                    kernel: &kernel,
+                    grid: Dim3::from(1),
+                    block: Dim3::from(1),
+                    params: &[],
+                    instr_budget: None,
+                },
+                &mut mem,
+                None,
+            )
+            .unwrap_err();
+        match err {
+            SimError::Trap { info, stats } => {
+                assert!(matches!(info.kind, TrapKind::ResourceLimit { .. }), "{:?}", info.kind);
+                assert_eq!(info.kernel, "hog");
+                assert_eq!(stats.dyn_instrs, 0, "trapped before execution");
+            }
+            other => panic!("expected trap, got {other:?}"),
+        }
+        // Without the governor the same launch succeeds.
+        let g = gpu();
+        let mut mem = GlobalMem::new(4096);
+        g.launch(
+            &Launch {
+                kernel: &kernel,
+                grid: Dim3::from(1),
+                block: Dim3::from(1),
+                params: &[],
+                instr_budget: None,
+            },
+            &mut mem,
+            None,
+        )
+        .expect("launch without governor");
     }
 
     #[test]

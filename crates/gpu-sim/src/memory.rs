@@ -53,6 +53,16 @@ pub enum MemError {
         /// Length of the attempted copy.
         len: u32,
     },
+    /// The allocation would push total live allocations past the resource
+    /// governor's cap ([`crate::ResourceLimits::max_global_bytes`]) — fired
+    /// before the device itself runs out, so a fault-corrupted allocation
+    /// size becomes a sandbox kill rather than a host OOM.
+    LimitExceeded {
+        /// Bytes requested by this allocation.
+        requested: u32,
+        /// The configured cap in bytes.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -66,6 +76,13 @@ impl fmt::Display for MemError {
             }
             MemError::BadCopy { addr, len } => {
                 write!(f, "host copy of {len} bytes at {addr:#x} touches unallocated memory")
+            }
+            MemError::LimitExceeded { requested, limit } => {
+                write!(
+                    f,
+                    "allocation of {requested} bytes exceeds the resource governor's \
+                     {limit}-byte global-memory cap"
+                )
             }
         }
     }
@@ -121,6 +138,7 @@ pub struct GlobalMem {
     pages: Vec<PageSlot>,
     capacity: u32,
     brk: u32,
+    alloc_limit: Option<u32>,
 }
 
 impl GlobalMem {
@@ -128,17 +146,36 @@ impl GlobalMem {
     pub fn new(capacity: u32) -> GlobalMem {
         let total = NULL_PAGE as u64 + capacity as u64;
         let num_pages = total.div_ceil(PAGE_SIZE as u64) as usize;
-        GlobalMem { pages: vec![None; num_pages], capacity: total as u32, brk: NULL_PAGE }
+        GlobalMem {
+            pages: vec![None; num_pages],
+            capacity: total as u32,
+            brk: NULL_PAGE,
+            alloc_limit: None,
+        }
+    }
+
+    /// Arm (or disarm) the resource governor's allocation cap. While set,
+    /// [`GlobalMem::alloc`] fails with [`MemError::LimitExceeded`] once
+    /// total allocated bytes would pass `limit` — before the device itself
+    /// runs out of capacity.
+    pub fn set_alloc_limit(&mut self, limit: Option<u32>) {
+        self.alloc_limit = limit;
     }
 
     /// Allocate `size` bytes aligned to 256 (like `cudaMalloc`).
     ///
     /// # Errors
     ///
-    /// Returns [`MemError::OutOfMemory`] when capacity is exhausted.
+    /// Returns [`MemError::LimitExceeded`] when a governor cap is armed and
+    /// breached, or [`MemError::OutOfMemory`] when capacity is exhausted.
     pub fn alloc(&mut self, size: u32) -> Result<DevPtr, MemError> {
         let aligned = self.brk.next_multiple_of(256);
         let end = aligned as u64 + size as u64;
+        if let Some(limit) = self.alloc_limit {
+            if end - NULL_PAGE as u64 > limit as u64 {
+                return Err(MemError::LimitExceeded { requested: size, limit });
+            }
+        }
         if end > self.capacity as u64 {
             return Err(MemError::OutOfMemory {
                 requested: size,
@@ -493,6 +530,19 @@ mod tests {
         let mut m = GlobalMem::new(1024);
         assert!(m.alloc(512).is_ok());
         assert!(matches!(m.alloc(10_000), Err(MemError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn alloc_limit_fires_before_capacity() {
+        let mut m = GlobalMem::new(1 << 20);
+        m.set_alloc_limit(Some(1024));
+        assert!(m.alloc(512).is_ok());
+        // Within capacity but past the governor cap.
+        let err = m.alloc(1024).unwrap_err();
+        assert!(matches!(err, MemError::LimitExceeded { requested: 1024, limit: 1024 }), "{err}");
+        // Disarming restores plain capacity behavior.
+        m.set_alloc_limit(None);
+        assert!(m.alloc(1024).is_ok());
     }
 
     #[test]

@@ -59,6 +59,18 @@ pub enum TrapKind {
     /// experiment run itself, not an observation about the program: outcome
     /// classification must not count it as a DUE.
     DeadlineExceeded,
+    /// The run exceeded a resource-governor cap
+    /// ([`crate::ResourceLimits`]) — the sandbox analog of a cgroup
+    /// OOM-kill. Classified as an OS-detected DUE (the governor terminates
+    /// the victim run the way a real sandbox kills the victim process).
+    ResourceLimit {
+        /// Address space whose cap was breached.
+        space: Space,
+        /// Bytes the run tried to use.
+        requested: u32,
+        /// The configured cap in bytes.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for TrapKind {
@@ -82,6 +94,13 @@ impl fmt::Display for TrapKind {
             TrapKind::Timeout => write!(f, "dynamic-instruction budget exceeded (hang)"),
             TrapKind::BarrierDeadlock => write!(f, "barrier deadlock"),
             TrapKind::DeadlineExceeded => write!(f, "wall-clock run deadline exceeded"),
+            TrapKind::ResourceLimit { space, requested, limit } => {
+                write!(
+                    f,
+                    "resource limit exceeded: {requested} bytes of {space} memory \
+                     requested, governor cap is {limit}"
+                )
+            }
         }
     }
 }
@@ -98,6 +117,12 @@ impl TrapKind {
     /// verdict rather than a program outcome.
     pub fn is_deadline(self) -> bool {
         matches!(self, TrapKind::DeadlineExceeded)
+    }
+
+    /// `true` for a resource-governor kill, which terminates the victim run
+    /// like a sandbox OOM-kill (an OS-detected crash in Table V terms).
+    pub fn is_resource_limit(self) -> bool {
+        matches!(self, TrapKind::ResourceLimit { .. })
     }
 }
 
@@ -151,6 +176,9 @@ mod tests {
         assert!(!TrapKind::DeadlineExceeded.is_hang(), "deadline is not a DUE");
         assert!(TrapKind::DeadlineExceeded.is_deadline());
         assert!(!TrapKind::Timeout.is_deadline());
+        let rl = TrapKind::ResourceLimit { space: Space::Global, requested: 99, limit: 10 };
+        assert!(!rl.is_hang(), "governor kills are crashes, not hangs");
+        assert!(!rl.is_deadline(), "governor kills are program outcomes, not infra");
     }
 
     #[test]

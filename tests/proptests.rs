@@ -368,3 +368,114 @@ proptest! {
         prop_assert_eq!(back, kernel);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Worker-protocol transport: the supervisor/worker frame stream and message
+// codec must round-trip any payload and survive any byte garbage without
+// panicking — a corrupt child can write anything into the pipe.
+
+fn arb_wire_string() -> impl Strategy<Value = String> {
+    // Hostile payloads: arbitrary Unicode scalars, including quotes,
+    // backslashes, newlines, control characters, and non-BMP code points
+    // (surrogate-range draws fold into control characters).
+    prop::collection::vec(any::<u32>(), 0..64).prop_map(|vs| {
+        vs.into_iter()
+            .map(|v| {
+                char::from_u32(v % 0x11_0000).unwrap_or_else(|| char::from_u32(v % 0x20).unwrap())
+            })
+            .collect()
+    })
+}
+
+fn arb_msg() -> impl Strategy<Value = nvbitfi::Msg> {
+    use nvbitfi::{Msg, WorkerInit};
+    prop_oneof![
+        (
+            arb_wire_string(),
+            arb_wire_string(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(program, scale, use_checkpoints, has_deadline, deadline, heartbeat_ms)| {
+                    Msg::Init(WorkerInit {
+                        program,
+                        scale,
+                        use_checkpoints,
+                        deadline_ms: has_deadline.then_some(deadline),
+                        heartbeat_ms,
+                    })
+                }
+            ),
+        Just(Msg::Ready),
+        (any::<u64>(), arb_wire_string()).prop_map(|(id, site)| Msg::Run { id, site }),
+        Just(Msg::Heartbeat),
+        (any::<u64>(), arb_wire_string(), any::<bool>(), any::<u64>(), any::<u64>()).prop_map(
+            |(id, outcome, injected, wall_us, skip_instrs)| Msg::Done {
+                id,
+                outcome,
+                injected,
+                wall_us,
+                skip_instrs,
+            }
+        ),
+        arb_wire_string().prop_map(|message| Msg::Error { message }),
+        Just(Msg::Shutdown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn worker_frames_roundtrip(payload in arb_wire_string()) {
+        use nvbitfi::worker::{read_frame, write_frame};
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("write");
+        let mut r = &buf[..];
+        prop_assert_eq!(read_frame(&mut r).expect("read"), Some(payload));
+        // The stream then ends cleanly at a frame boundary.
+        prop_assert_eq!(read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn torn_worker_frames_error_instead_of_panicking(
+        payload in arb_wire_string(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        use nvbitfi::worker::{read_frame, write_frame};
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("write");
+        let cut = cut.index(buf.len());
+        let got = read_frame(&mut &buf[..cut]);
+        if cut == 0 {
+            // Nothing read yet: a clean end-of-stream, not corruption.
+            prop_assert_eq!(got.expect("clean eof"), None);
+        } else {
+            prop_assert!(got.is_err(), "a torn frame is a transport error");
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_frame_reader(
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Any Ok/Err verdict is acceptable for arbitrary garbage — the
+        // invariant is that the reader never panics and never fabricates
+        // an oversized frame.
+        if let Ok(Some(payload)) = nvbitfi::worker::read_frame(&mut &bytes[..]) {
+            prop_assert!(payload.len() <= nvbitfi::MAX_FRAME as usize);
+        }
+    }
+
+    #[test]
+    fn worker_messages_roundtrip(msg in arb_msg()) {
+        let encoded = msg.to_json();
+        prop_assert_eq!(nvbitfi::Msg::parse(&encoded), Some(msg));
+    }
+
+    #[test]
+    fn message_parser_never_panics_on_garbage(text in arb_wire_string()) {
+        let _ = nvbitfi::Msg::parse(&text);
+    }
+}
